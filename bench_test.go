@@ -1,0 +1,130 @@
+// Package-level benchmarks: one testing.B benchmark per table/figure of the
+// paper's evaluation, so `go test -bench=.` regenerates the whole study.
+// Each benchmark prints its table once (the work is cycle-accurate
+// simulation; wall-clock time is not the interesting output).
+package phloem_test
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"phloem/internal/bench"
+	"phloem/internal/workloads"
+)
+
+func benchCfg(b *testing.B) bench.Config {
+	return bench.Config{Scale: workloads.ScaleTest, Out: os.Stdout}
+}
+
+// suiteOnce shares the Fig. 9/10/11 measurement across the three benchmarks.
+var (
+	suiteOnce    sync.Once
+	suiteResults []*bench.BenchResult
+	suiteErr     error
+)
+
+func suite(b *testing.B) []*bench.BenchResult {
+	suiteOnce.Do(func() {
+		cfg := bench.Config{Scale: workloads.ScaleTest, Out: os.Stdout}
+		for _, bm := range workloads.Benchmarks(cfg.Scale) {
+			r, err := bench.RunBenchmark(cfg, bm)
+			if err != nil {
+				suiteErr = err
+				return
+			}
+			suiteResults = append(suiteResults, r)
+		}
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suiteResults
+}
+
+func BenchmarkTable3Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table3(benchCfg(b))
+		break
+	}
+}
+
+func BenchmarkTable4Graphs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table4(benchCfg(b))
+		break
+	}
+}
+
+func BenchmarkTable5Matrices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table5(benchCfg(b))
+		break
+	}
+}
+
+func BenchmarkFig6PassAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig6(benchCfg(b)); err != nil {
+			b.Fatal(err)
+		}
+		break
+	}
+}
+
+func BenchmarkFig9Speedups(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig9(benchCfg(b), suite(b))
+		break
+	}
+}
+
+func BenchmarkFig10CycleBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig10(benchCfg(b), suite(b))
+		break
+	}
+}
+
+func BenchmarkFig11Energy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig11(benchCfg(b), suite(b))
+		break
+	}
+}
+
+func BenchmarkFig12Taco(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig12(benchCfg(b)); err != nil {
+			b.Fatal(err)
+		}
+		break
+	}
+}
+
+func BenchmarkFig13StageSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig13(benchCfg(b)); err != nil {
+			b.Fatal(err)
+		}
+		break
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Ablations(benchCfg(b)); err != nil {
+			b.Fatal(err)
+		}
+		break
+	}
+}
+
+func BenchmarkFig14Replication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig14(benchCfg(b)); err != nil {
+			b.Fatal(err)
+		}
+		break
+	}
+}

@@ -1,0 +1,111 @@
+// Package cmd_test smoke-tests the command-line tools end to end: each
+// binary is built once and driven the way a user would.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "phloem-cmds")
+	if err != nil {
+		panic(err)
+	}
+	binDir = dir
+	for _, tool := range []string{"phloemc", "phloemsim", "phloembench", "tacoc"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "phloem/cmd/"+tool)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			panic(tool + ": " + string(out))
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func run(t *testing.T, tool string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(filepath.Join(binDir, tool), args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+	}
+	return string(out)
+}
+
+func TestPhloemcCompilesKernel(t *testing.T) {
+	src := `
+#pragma phloem
+void k(int* restrict a, int* restrict b, int* restrict out, int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    int idx = a[i];
+    int v = b[idx];
+    acc = acc + v;
+  }
+  out[0] = acc;
+}
+`
+	f := filepath.Join(t.TempDir(), "k.c")
+	if err := os.WriteFile(f, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, "phloemc", "-dump", f)
+	for _, want := range []string{"pipeline k:", "stage", "RA", "deq"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("phloemc output missing %q:\n%s", want, out)
+		}
+	}
+	// Ablation flags change the pipeline.
+	out2 := run(t, "phloemc", "-passes", "Q,R,CV", f)
+	if strings.Contains(out2, "RA ") {
+		t.Errorf("passes without RA should not place accelerators:\n%s", out2)
+	}
+}
+
+func TestPhloemcRejectsBadInput(t *testing.T) {
+	f := filepath.Join(t.TempDir(), "bad.c")
+	os.WriteFile(f, []byte("void k(int n) { undefined_thing; }"), 0o644)
+	cmd := exec.Command(filepath.Join(binDir, "phloemc"), f)
+	if err := cmd.Run(); err == nil {
+		t.Error("phloemc should fail on a bad kernel")
+	}
+}
+
+func TestTacocEmitsAndPipelines(t *testing.T) {
+	out := run(t, "tacoc", "-pipeline", "spmv")
+	for _, want := range []string{"y(i) = A(i,j) * x(j)", "taco_spmv", "pipeline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tacoc output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPhloemsimRunsBFS(t *testing.T) {
+	out := run(t, "phloemsim", "-bench", "BFS", "-input", "road-ny")
+	for _, want := range []string{"serial", "phloem", "speedup", "cycles"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("phloemsim output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPhloembenchTables(t *testing.T) {
+	out := run(t, "phloembench", "-exp", "table3")
+	if !strings.Contains(out, "Table III") || !strings.Contains(out, "L3 cache") {
+		t.Errorf("table3 output:\n%s", out)
+	}
+	out4 := run(t, "phloembench", "-exp", "table4")
+	if !strings.Contains(out4, "road-usa") {
+		t.Errorf("table4 output:\n%s", out4)
+	}
+	out5 := run(t, "phloembench", "-exp", "table5")
+	if !strings.Contains(out5, "pwtk") {
+		t.Errorf("table5 output:\n%s", out5)
+	}
+}

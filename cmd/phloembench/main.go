@@ -1,0 +1,78 @@
+// Command phloembench regenerates the paper's tables and figures on the
+// simulated Pipette machine with the synthetic input suite.
+//
+// Usage:
+//
+//	phloembench -exp all
+//	phloembench -exp fig9 -scale full -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phloem/internal/bench"
+	"phloem/internal/workloads"
+)
+
+func main() {
+	exp := flag.String("exp", "all",
+		"experiment: table3|table4|table5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|ablations|all")
+	scale := flag.String("scale", "test", "input scale: test|full")
+	verbose := flag.Bool("v", false, "print per-input rows")
+	flag.Parse()
+
+	cfg := bench.Config{Scale: workloads.ScaleTest, Out: os.Stdout, Verbose: *verbose}
+	if *scale == "full" {
+		cfg.Scale = workloads.ScaleFull
+	}
+
+	run := func() error {
+		switch *exp {
+		case "table3":
+			bench.Table3(cfg)
+		case "table4":
+			bench.Table4(cfg)
+		case "table5":
+			bench.Table5(cfg)
+		case "fig6":
+			return bench.Fig6(cfg)
+		case "fig9", "fig10", "fig11":
+			var results []*bench.BenchResult
+			for _, b := range workloads.Benchmarks(cfg.Scale) {
+				fmt.Fprintf(os.Stderr, "running %s...\n", b.Name)
+				r, err := bench.RunBenchmark(cfg, b)
+				if err != nil {
+					return err
+				}
+				results = append(results, r)
+			}
+			switch *exp {
+			case "fig9":
+				bench.Fig9(cfg, results)
+			case "fig10":
+				bench.Fig10(cfg, results)
+			case "fig11":
+				bench.Fig11(cfg, results)
+			}
+		case "fig12":
+			return bench.Fig12(cfg)
+		case "fig13":
+			return bench.Fig13(cfg)
+		case "fig14":
+			return bench.Fig14(cfg)
+		case "ablations":
+			return bench.Ablations(cfg)
+		case "all":
+			return bench.All(cfg)
+		default:
+			return fmt.Errorf("unknown experiment %q", *exp)
+		}
+		return nil
+	}
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "phloembench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,74 @@
+// Command phloemc compiles a serial C-subset kernel into a pipeline and
+// prints its structure (stages, queues, reference accelerators) and,
+// with -dump, the generated per-stage IR.
+//
+// Usage:
+//
+//	phloemc kernel.c
+//	phloemc -threads 4 -passes Q,R,CV -dump kernel.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"phloem/internal/core"
+	"phloem/internal/passes"
+)
+
+func main() {
+	threads := flag.Int("threads", 4, "maximum pipeline threads (SMT width)")
+	passList := flag.String("passes", "all",
+		"comma-separated passes: Q (always on), R, RA, CV, CH, DCE, or 'all'")
+	dump := flag.Bool("dump", false, "print per-stage IR")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: phloemc [flags] kernel.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phloemc:", err)
+		os.Exit(1)
+	}
+
+	opt := core.DefaultOptions()
+	opt.MaxThreads = *threads
+	if *passList != "all" {
+		opt.EnableAblation = true
+		var p passes.Options
+		for _, name := range strings.Split(*passList, ",") {
+			switch strings.TrimSpace(strings.ToUpper(name)) {
+			case "Q", "":
+				// decouple + add queues is always on
+			case "R":
+				p.Recompute = true
+			case "RA":
+				p.RAs = true
+			case "CV":
+				p.CtrlValues = true
+			case "CH":
+				p.Handlers = true
+			case "DCE":
+				p.InterstageDCE = true
+			default:
+				fmt.Fprintf(os.Stderr, "phloemc: unknown pass %q\n", name)
+				os.Exit(2)
+			}
+		}
+		opt.Passes = p
+	}
+
+	res, err := core.CompileSource(string(src), opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phloemc:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Pipeline.Describe())
+	if *dump {
+		fmt.Println()
+		fmt.Print(res.Pipeline.DumpStages())
+	}
+}

@@ -1,0 +1,78 @@
+// Command phloemsim compiles a kernel and simulates it on a built-in
+// workload, comparing serial and pipelined execution. It is a quick way to
+// see the simulator's timing reports without writing a harness.
+//
+// Usage:
+//
+//	phloemsim -bench BFS -input road
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phloem/internal/arch"
+	"phloem/internal/core"
+	"phloem/internal/pipeline"
+	"phloem/internal/workloads"
+)
+
+func main() {
+	benchName := flag.String("bench", "BFS", "benchmark: BFS|CC|PRD|Radii|SpMM")
+	inputName := flag.String("input", "", "input name (default: the road-like test input)")
+	flag.Parse()
+
+	bench, err := workloads.ByName(workloads.ScaleTest, *benchName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phloemsim:", err)
+		os.Exit(1)
+	}
+	in := bench.Test[len(bench.Test)-1]
+	if *inputName != "" {
+		in = nil
+		for _, cand := range append(bench.Train, bench.Test...) {
+			if cand.Name == *inputName {
+				in = cand
+			}
+		}
+		if in == nil {
+			fmt.Fprintf(os.Stderr, "phloemsim: unknown input %q\n", *inputName)
+			os.Exit(1)
+		}
+	}
+
+	serialProg, err := workloads.CompileSerial(bench.SerialSource)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phloemsim:", err)
+		os.Exit(1)
+	}
+	run := func(name string, p *pipeline.Pipeline) uint64 {
+		inst, err := pipeline.Instantiate(p, arch.DefaultConfig(1), in.Bind())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "phloemsim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		st, err := inst.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "phloemsim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if err := in.Verify(inst); err != nil {
+			fmt.Fprintf(os.Stderr, "phloemsim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- %s\n%s", name, st.String())
+		return st.Cycles
+	}
+
+	sc := run("serial", pipeline.NewSerial(serialProg))
+	res, err := core.Compile(serialProg, core.DefaultOptions())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phloemsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("--- phloem pipeline\n%s", res.Pipeline.Describe())
+	pc := run("phloem", res.Pipeline)
+	fmt.Printf("\nspeedup on %s: %.2fx\n", in.Name, float64(sc)/float64(pc))
+}

@@ -1,0 +1,43 @@
+// Command tacoc emits the C-subset kernel for one of the supported sparse
+// tensor expressions, optionally compiling it through Phloem (Sec. IV-D's
+// Taco integration).
+//
+// Usage:
+//
+//	tacoc spmv            # print the emitted serial kernel
+//	tacoc -pipeline spmv  # also compile it and print the pipeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phloem/internal/core"
+	"phloem/internal/taco"
+)
+
+func main() {
+	pipe := flag.Bool("pipeline", false, "compile the kernel through Phloem")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tacoc [-pipeline] spmv|sddmm|mtmul|residual")
+		os.Exit(2)
+	}
+	k := taco.Kernel(flag.Arg(0))
+	src, err := taco.Emit(k)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tacoc:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("// %s\n%s", taco.Expression(k), src)
+	if *pipe {
+		res, err := core.CompileSource(src, core.DefaultOptions())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tacoc:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(res.Pipeline.Describe())
+	}
+}

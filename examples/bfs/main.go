@@ -1,0 +1,79 @@
+// BFS end to end: compile the paper's breadth-first search kernel with the
+// profile-guided flow, then compare serial, Phloem, and the hand-optimized
+// Pipette-style pipeline on a road-network-like graph.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"phloem/internal/arch"
+	"phloem/internal/core"
+	"phloem/internal/graph"
+	"phloem/internal/pipeline"
+	"phloem/internal/workloads"
+)
+
+func main() {
+	g := graph.Grid("road", 120, 120, 7)
+	fmt.Println("input:", g)
+
+	serialProg, err := workloads.CompileSerial(workloads.BFSSource)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Profile-guided compilation: candidate pipelines are measured on the
+	// training inputs (Fig. 8's autotuning flow).
+	opt := core.DefaultOptions()
+	opt.Mode = core.Autotune
+	for _, tr := range graph.TrainingInputs() {
+		tg := tr.Graph
+		opt.Training = append(opt.Training, func(p *pipeline.Pipeline) (uint64, error) {
+			inst, err := pipeline.Instantiate(p, arch.DefaultConfig(1), workloads.BFSBindings(tg, 0))
+			if err != nil {
+				return 0, err
+			}
+			st, err := inst.Run()
+			if err != nil {
+				return 0, err
+			}
+			if err := workloads.BFSVerify(inst, tg, 0); err != nil {
+				return 0, err
+			}
+			return st.Cycles, nil
+		})
+	}
+	res, err := core.Compile(serialProg, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("searched %d candidate pipelines\n%s", res.Searched, res.Pipeline.Describe())
+
+	run := func(name string, p *pipeline.Pipeline) uint64 {
+		inst, err := pipeline.Instantiate(p, arch.DefaultConfig(1), workloads.BFSBindings(g, 0))
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		st, err := inst.Run()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		if err := workloads.BFSVerify(inst, g, 0); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("%-8s %10d cycles  breakdown: %s", name, st.Cycles, st.String())
+		return st.Cycles
+	}
+
+	sc := run("serial", pipeline.NewSerial(serialProg))
+	pc := run("phloem", res.Pipeline)
+	manual, err := workloads.ManualBFS()
+	if err != nil {
+		log.Fatal(err)
+	}
+	mc := run("manual", manual)
+
+	fmt.Printf("\nphloem speedup: %.2fx   manual speedup: %.2fx\n",
+		float64(sc)/float64(pc), float64(sc)/float64(mc))
+}

@@ -1,0 +1,3 @@
+module phloem
+
+go 1.22

@@ -1,0 +1,121 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"phloem/internal/analysis"
+	"phloem/internal/workloads"
+)
+
+func TestBFSCandidates(t *testing.T) {
+	p, err := workloads.CompileSerial(workloads.BFSSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := analysis.New(p)
+	phases := analysis.ProgramPhases(p.Body)
+	if len(phases) != 1 {
+		t.Fatalf("BFS phases: %d", len(phases))
+	}
+	cands := an.Candidates(phases[0])
+	if len(cands) != 4 {
+		t.Fatalf("BFS should have 4 candidates (edges, nodes, cur_fringe, distances), got %d", len(cands))
+	}
+	// nodes[v+1] must have been grouped with nodes[v]; the distances load
+	// must be marked prefetch-only by the race rule (it is loaded and
+	// stored); the top freely movable candidate is the edges access.
+	for _, c := range cands {
+		name := p.Slots[c.Load.Slot].Name
+		if name == "distances" && !c.PrefetchOnly {
+			t.Error("distances load must be prefetch-only under the race rule")
+		}
+		if name != "distances" && c.PrefetchOnly {
+			t.Errorf("%s wrongly marked prefetch-only", name)
+		}
+	}
+	var movable []*analysis.Candidate
+	for _, c := range cands {
+		if !c.PrefetchOnly {
+			movable = append(movable, c)
+		}
+	}
+	if top := p.Slots[movable[0].Load.Slot].Name; top != "edges" {
+		t.Errorf("top movable candidate is %s, want edges", top)
+	}
+	// Ranks are sorted descending.
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Rank > cands[i-1].Rank {
+			t.Error("candidates not sorted by rank")
+		}
+	}
+}
+
+func TestSwapClassExemption(t *testing.T) {
+	p, err := workloads.CompileSerial(workloads.BFSSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := analysis.New(p)
+	cf := p.SlotIndex("cur_fringe")
+	nf := p.SlotIndex("next_fringe")
+	if !an.SameClass(cf, nf) {
+		t.Error("swapped fringes must share an alias class")
+	}
+	if !an.Swapped(cf) {
+		t.Error("cur_fringe participates in a swap")
+	}
+	if an.SameClass(cf, p.SlotIndex("nodes")) {
+		t.Error("nodes must not alias the fringes")
+	}
+}
+
+func TestRadiiCandidatesIncludeVisited(t *testing.T) {
+	p, err := workloads.CompileSerial(workloads.RadiiSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := analysis.New(p)
+	cands := an.Candidates(analysis.ProgramPhases(p.Body)[0])
+	found := false
+	for _, c := range cands {
+		if p.Slots[c.Load.Slot].Name == "visited" && c.Depth == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("visited[ngh] is epoch-synchronized by swap and must be a candidate")
+	}
+}
+
+func TestProgramPhasesPRD(t *testing.T) {
+	p, err := workloads.CompileSerial(workloads.PRDSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := analysis.ProgramPhases(p.Body)
+	// Two loop nests plus the trailing induction update.
+	if len(phases) != 3 {
+		t.Fatalf("PRD should split into 3 phases inside the outer loop, got %d", len(phases))
+	}
+	if phases[0].Nest == nil || phases[1].Nest == nil || phases[2].Nest != nil {
+		t.Error("phase structure: nest, nest, trailing")
+	}
+	if _, _, ok := analysis.ReplicableOuter(p.Body); !ok {
+		t.Error("PRD's outer iteration loop should be replicable")
+	}
+}
+
+func TestOrderPointsRestoresTraversalOrder(t *testing.T) {
+	p, err := workloads.CompileSerial(workloads.BFSSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := analysis.New(p)
+	cands := an.Candidates(analysis.ProgramPhases(p.Body)[0])
+	ordered := analysis.OrderPoints(cands)
+	for i := 1; i < len(ordered); i++ {
+		if ordered[i].Order < ordered[i-1].Order {
+			t.Fatal("OrderPoints did not sort by traversal order")
+		}
+	}
+}

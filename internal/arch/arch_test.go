@@ -1,0 +1,58 @@
+package arch
+
+import "testing"
+
+func TestDefaultConfigMatchesTableIII(t *testing.T) {
+	c := DefaultConfig(4)
+	if c.Cores != 4 || c.ThreadsPerCore != 4 || c.IssueWidth != 6 {
+		t.Errorf("core shape: %+v", c)
+	}
+	if c.MaxQueues != 16 || c.QueueDepth != 24 || c.MaxRAs != 4 {
+		t.Errorf("Pipette parameters: %+v", c)
+	}
+	if c.Mem.L1.SizeBytes != 32<<10 || c.Mem.L2.SizeBytes != 256<<10 ||
+		c.Mem.L3.SizeBytes != 2<<20 || c.Mem.MemMinLatency != 120 ||
+		c.Mem.MemControllers != 2 {
+		t.Errorf("memory system: %+v", c.Mem)
+	}
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Cores: 0, ThreadsPerCore: 4, IssueWidth: 6, FetchWidth: 6, WindowSize: 128, QueueDepth: 24},
+		{Cores: 1, ThreadsPerCore: 0, IssueWidth: 6, FetchWidth: 6, WindowSize: 128, QueueDepth: 24},
+		{Cores: 1, ThreadsPerCore: 4, IssueWidth: 0, FetchWidth: 6, WindowSize: 128, QueueDepth: 24},
+		{Cores: 1, ThreadsPerCore: 4, IssueWidth: 6, FetchWidth: 6, WindowSize: 0, QueueDepth: 24},
+		{Cores: 1, ThreadsPerCore: 4, IssueWidth: 6, FetchWidth: 6, WindowSize: 128, QueueDepth: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+}
+
+func TestControlCodesDisjoint(t *testing.T) {
+	if CtrlEnd <= CtrlNext || CtrlUser <= CtrlEnd {
+		t.Error("control code ranges must be ordered: Next < End < User")
+	}
+}
+
+func TestRASpecString(t *testing.T) {
+	s := RASpec{Name: "x", Mode: RAScan, Slot: 1, InQ: 2, OutQ: 3, EmitNext: true}
+	if got := s.String(); got == "" || s.Mode.String() != "SCAN" {
+		t.Errorf("spec string: %q", got)
+	}
+	if RAIndirect.String() != "INDIRECT" {
+		t.Error("indirect mode name")
+	}
+}
+
+func TestThreadIDString(t *testing.T) {
+	if (ThreadID{Core: 2, Thread: 1}).String() != "c2.t1" {
+		t.Error("thread id format")
+	}
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+
+	"phloem/internal/arch"
+	"phloem/internal/core"
+	"phloem/internal/passes"
+	"phloem/internal/pipeline"
+	"phloem/internal/workloads"
+)
+
+// Ablations runs the design-choice studies DESIGN.md calls out beyond the
+// paper's figures: queue-depth sweep, RA outstanding-window sweep, handler
+// versus explicit is_control checks, and the cost model's frequency
+// weighting (via static versus ranked-only selection).
+func Ablations(cfg Config) error {
+	bench, err := workloads.ByName(cfg.Scale, "BFS")
+	if err != nil {
+		return err
+	}
+	in := bench.Test[len(bench.Test)-1] // road network
+	serialProg, err := workloads.CompileSerial(bench.SerialSource)
+	if err != nil {
+		return err
+	}
+	ser, err := runPipe(pipeline.NewSerial(serialProg), in.Bind(), in, 1, true)
+	if err != nil {
+		return err
+	}
+	full, err := core.Compile(serialProg, core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+
+	runWith := func(p *pipeline.Pipeline, mc arch.Config) (uint64, error) {
+		inst, err := pipeline.Instantiate(p, mc, in.Bind())
+		if err != nil {
+			return 0, err
+		}
+		st, err := inst.Run()
+		if err != nil {
+			return 0, err
+		}
+		if err := in.Verify(inst); err != nil {
+			return 0, err
+		}
+		return st.Cycles, nil
+	}
+
+	cfg.printf("\nAblation: queue depth (BFS, full pipeline; paper default 24)\n")
+	for _, depth := range []int{4, 8, 16, 24, 64} {
+		mc := arch.DefaultConfig(1)
+		mc.QueueDepth = depth
+		cycles, err := runWith(full.Pipeline, mc)
+		if err != nil {
+			return fmt.Errorf("queue depth %d: %w", depth, err)
+		}
+		cfg.printf("  depth %-3d %10d cycles  speedup %5.2fx\n",
+			depth, cycles, float64(ser.Cycles)/float64(cycles))
+	}
+
+	cfg.printf("\nAblation: RA outstanding requests (BFS, full pipeline)\n")
+	for _, w := range []int{2, 4, 8, 16, 32} {
+		mc := arch.DefaultConfig(1)
+		mc.RAOutstanding = w
+		cycles, err := runWith(full.Pipeline, mc)
+		if err != nil {
+			return fmt.Errorf("RA window %d: %w", w, err)
+		}
+		cfg.printf("  window %-3d %9d cycles  speedup %5.2fx\n",
+			w, cycles, float64(ser.Cycles)/float64(cycles))
+	}
+
+	cfg.printf("\nAblation: control-value handling (BFS)\n")
+	for _, s := range []struct {
+		name string
+		opt  passes.Options
+	}{
+		{"is_control() checks", passes.Options{Recompute: true, RAs: true, CtrlValues: true, InterstageDCE: true}},
+		{"hardware handlers", passes.Default()},
+	} {
+		opt := core.DefaultOptions()
+		opt.EnableAblation = true
+		opt.Passes = s.opt
+		res, err := core.Compile(serialProg, opt)
+		if err != nil {
+			return err
+		}
+		cycles, err := runWith(res.Pipeline, arch.DefaultConfig(1))
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		cfg.printf("  %-22s %10d cycles  speedup %5.2fx\n",
+			s.name, cycles, float64(ser.Cycles)/float64(cycles))
+	}
+
+	cfg.printf("\nAblation: MSHR-limited core miss parallelism (serial BFS)\n")
+	for _, m := range []int{4, 10, 16, 0} {
+		mc := arch.DefaultConfig(1)
+		mc.MSHRs = m
+		cycles, err := runWith(pipeline.NewSerial(serialProg), mc)
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprint(m)
+		if m == 0 {
+			label = "inf"
+		}
+		cfg.printf("  MSHRs %-4s %10d cycles\n", label, cycles)
+	}
+	return nil
+}

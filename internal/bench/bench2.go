@@ -1,0 +1,275 @@
+package bench
+
+import (
+	"fmt"
+
+	"phloem/internal/arch"
+	"phloem/internal/core"
+	"phloem/internal/graph"
+	"phloem/internal/matrix"
+	"phloem/internal/pipeline"
+	"phloem/internal/taco"
+	"phloem/internal/workloads"
+)
+
+// Fig12 prints the Taco-kernel speedups (static compilation flow, Sec. VI-C).
+func Fig12(cfg Config) error {
+	cfg.printf("\nFig. 12: Taco kernels, speedup over Taco-emitted serial code\n")
+	cfg.printf("%-10s %-34s %14s %10s\n", "kernel", "expression", "data-parallel", "phloem")
+	f := 1
+	if cfg.Scale == workloads.ScaleFull {
+		f = 2
+	}
+	inputs := []*matrix.CSR{
+		matrix.Scattered("scircuit", 500*f, 3, 51),
+		matrix.Scattered("mac-econ", 450*f, 3, 52),
+		matrix.Banded("cop20k", 350*f, 11, 500, 53),
+		matrix.Banded("pwtk", 300*f, 26, 100, 54),
+		matrix.Banded("cant", 200*f, 32, 80, 55),
+	}
+	for _, k := range taco.Kernels() {
+		src, err := taco.Emit(k)
+		if err != nil {
+			return err
+		}
+		serialProg, err := workloads.CompileSerial(src)
+		if err != nil {
+			return err
+		}
+		res, err := core.Compile(serialProg, core.DefaultOptions())
+		if err != nil {
+			return fmt.Errorf("fig12 %s: %w", k, err)
+		}
+		dpSrc, err := taco.EmitDP(k)
+		if err != nil {
+			return err
+		}
+		dp, err := workloads.BuildDataParallel(dpSrc, 4, 4)
+		if err != nil {
+			return fmt.Errorf("fig12 %s dp: %w", k, err)
+		}
+		var dpS, phS []float64
+		for _, m := range inputs {
+			b := taco.Bindings(k, m, 7)
+			ser, err := runPipe(pipeline.NewSerial(serialProg), b, nil, 1, false)
+			if err != nil {
+				return fmt.Errorf("fig12 %s/%s serial: %w", k, m.Name, err)
+			}
+			bd := taco.Bindings(k, m, 7)
+			bd.Scalars["tid"] = 0
+			bd.Scalars["nthreads"] = 4
+			dst, err := runPipe(dp, bd, nil, 1, false)
+			if err != nil {
+				return fmt.Errorf("fig12 %s/%s dp: %w", k, m.Name, err)
+			}
+			pst, err := runPipe(res.Pipeline, taco.Bindings(k, m, 7), nil, 1, false)
+			if err != nil {
+				return fmt.Errorf("fig12 %s/%s phloem: %w", k, m.Name, err)
+			}
+			dpS = append(dpS, float64(ser.Cycles)/float64(dst.Cycles))
+			phS = append(phS, float64(ser.Cycles)/float64(pst.Cycles))
+		}
+		cfg.printf("%-10s %-34s %13.2fx %9.2fx\n", k, taco.Expression(k), gmean(dpS), gmean(phS))
+	}
+	cfg.printf("(paper: SpMV/MTMul/Residual ~1.5x for Phloem; SDDMM favors data-parallel)\n")
+	return nil
+}
+
+// Fig14 prints the replicated-pipeline results: 4 cores x 4 threads. Each
+// pipeline is replicated over a batch of independent instances (per-replica
+// result arrays, shared graph structure), realizing the paper's "each
+// pipeline works on a specific part of the input" without cross-replica
+// distribution; EXPERIMENTS.md records the deviation.
+func Fig14(cfg Config) error {
+	cfg.printf("\nFig. 14: replication over 4 cores x 4 threads (speedup over 1-thread serial)\n")
+	cfg.printf("%-8s %14s %14s %14s\n", "bench", "data-parallel", "phloem-repl", "manual-repl")
+	const R = 4
+	for _, name := range []string{"BFS", "CC", "PRD", "Radii"} {
+		bench, err := workloads.ByName(cfg.Scale, name)
+		if err != nil {
+			return err
+		}
+		in := bench.Test[len(bench.Test)-1]
+		serialProg, err := workloads.CompileSerial(bench.SerialSource)
+		if err != nil {
+			return err
+		}
+		// Serial cost of the whole batch: R independent instances in turn
+		// (for Radii, the R source groups together equal one full run, so
+		// one serial run is the baseline).
+		ser, err := runPipe(pipeline.NewSerial(serialProg), in.Bind(), in, 1, true)
+		if err != nil {
+			return err
+		}
+		serBatch := ser.Cycles * R
+
+		// Data-parallel at 16 threads over the same batch: R groups of 4
+		// threads, one group per instance.
+		dp, err := workloads.BuildDataParallel(bench.DPSource, 4, 4)
+		if err != nil {
+			return err
+		}
+		dpRepl, err := pipeline.Replicate(dp, R, sharedSlots(name), nil)
+		if err != nil {
+			return err
+		}
+		dpStats, err := runPipe(dpRepl, replBindings(in.BindDP(4), R, sharedSlots(name)), nil, R, false)
+		if err != nil {
+			return fmt.Errorf("fig14 %s dp: %w", name, err)
+		}
+
+		opt := core.DefaultOptions()
+		opt.Mode = core.Autotune
+		opt.Training = trainers(bench)
+		res, err := core.Compile(serialProg, opt)
+		if err != nil {
+			return err
+		}
+		phRepl, err := pipeline.Replicate(res.Pipeline, R, sharedSlots(name), nil)
+		if err != nil {
+			return err
+		}
+		phStats, err := runPipe(phRepl, replBindings(in.Bind(), R, sharedSlots(name)), nil, R, false)
+		if err != nil {
+			return fmt.Errorf("fig14 %s phloem: %w", name, err)
+		}
+
+		manSpeed := "-"
+		if bench.Manual != nil {
+			man, err := bench.Manual()
+			if err != nil {
+				return err
+			}
+			manRepl, err := pipeline.Replicate(man, R, sharedSlots(name), nil)
+			if err != nil {
+				return err
+			}
+			manStats, err := runPipe(manRepl, replBindings(in.Bind(), R, sharedSlots(name)), nil, R, false)
+			if err != nil {
+				return fmt.Errorf("fig14 %s manual: %w", name, err)
+			}
+			manSpeed = fmt.Sprintf("%13.2fx", float64(serBatch)/float64(manStats.Cycles))
+		}
+		cfg.printf("%-8s %13.2fx %13.2fx %14s\n", name,
+			float64(serBatch)/float64(dpStats.Cycles),
+			float64(serBatch)/float64(phStats.Cycles), manSpeed)
+	}
+	cfg.printf("(paper: BFS ~10x vs manual 12x; CC ~4x vs 7x; Radii beats manual)\n")
+	return nil
+}
+
+// sharedSlots lists the read-only structures replicas share.
+func sharedSlots(bench string) []string {
+	switch bench {
+	case "SpMM":
+		return []string{"arows", "acols", "avals", "btrows", "btcols", "btvals"}
+	default:
+		return []string{"nodes", "edges"}
+	}
+}
+
+// replBindings prefixes private array bindings for each replica. Radii's
+// source partitioning would split the visited masks; for the batch model
+// every replica gets its own copy of the private arrays.
+func replBindings(b pipeline.Bindings, replicas int, shared []string) pipeline.Bindings {
+	sharedSet := map[string]bool{}
+	for _, s := range shared {
+		sharedSet[s] = true
+	}
+	out := pipeline.Bindings{
+		Ints:         map[string][]int64{},
+		Floats:       map[string][]float64{},
+		Scalars:      b.Scalars,
+		FloatScalars: b.FloatScalars,
+	}
+	for name, data := range b.Ints {
+		if sharedSet[name] {
+			out.Ints[name] = data
+			continue
+		}
+		for r := 0; r < replicas; r++ {
+			out.Ints[fmt.Sprintf("r%d.%s", r, name)] = append([]int64(nil), data...)
+		}
+	}
+	for name, data := range b.Floats {
+		if sharedSet[name] {
+			out.Floats[name] = data
+			continue
+		}
+		for r := 0; r < replicas; r++ {
+			out.Floats[fmt.Sprintf("r%d.%s", r, name)] = append([]float64(nil), data...)
+		}
+	}
+	return out
+}
+
+// Table3 prints the evaluated system configuration.
+func Table3(cfg Config) {
+	c := arch.DefaultConfig(4)
+	cfg.printf("\nTable III: configuration of the evaluated system\n")
+	cfg.printf("  Cores      1 or 4 cores, x86-64-like, %d-wide OOO issue, %d-thread SMT, %d-entry window\n",
+		c.IssueWidth, c.ThreadsPerCore, c.WindowSize)
+	cfg.printf("  Pipette    %d queues max; %d RAs; queues up to %d elements deep\n",
+		c.MaxQueues, c.MaxRAs, c.QueueDepth)
+	cfg.printf("  L1 cache   %d KB/core, %d-way, %d-cycle latency\n",
+		c.Mem.L1.SizeBytes>>10, c.Mem.L1.Ways, c.Mem.L1.Latency)
+	cfg.printf("  L2 cache   %d KB/core, %d-way, %d-cycle latency\n",
+		c.Mem.L2.SizeBytes>>10, c.Mem.L2.Ways, c.Mem.L2.Latency)
+	cfg.printf("  L3 cache   %d MB/core, %d-way, %d-cycle latency\n",
+		c.Mem.L3.SizeBytes>>20, c.Mem.L3.Ways, c.Mem.L3.Latency)
+	cfg.printf("  Main mem   %d-cycle minimum latency, %d controllers\n",
+		c.Mem.MemMinLatency, c.Mem.MemControllers)
+}
+
+// Table4 prints the graph-input inventory.
+func Table4(cfg Config) {
+	cfg.printf("\nTable IV: input graphs (synthetic stand-ins, sorted by edges)\n")
+	cfg.printf("%-26s %-12s %10s %10s %10s\n", "domain", "graph", "vertices", "edges", "avg deg")
+	suite := append(graph.TrainingInputs(), graph.TestInputs()...)
+	for _, in := range suite {
+		g := in.Graph
+		cfg.printf("%-26s %-12s %10d %10d %10.1f\n",
+			in.Domain, g.Name, g.NumVertices(), g.NumEdges(), g.AvgDegree())
+	}
+}
+
+// Table5 prints the matrix-input inventory.
+func Table5(cfg Config) {
+	cfg.printf("\nTable V: input matrices (synthetic stand-ins, sorted by nnz/row)\n")
+	cfg.printf("%-26s %-14s %10s %12s\n", "domain", "matrix", "size", "avg nnz/row")
+	suite := append(matrix.SpMMTrainingInputs(), matrix.SpMMTestInputs()...)
+	suite = append(suite, matrix.TacoTestInputs()...)
+	for _, in := range suite {
+		m := in.M
+		cfg.printf("%-26s %-14s %10d %12.1f\n", in.Domain, m.Name, m.N, m.AvgNNZPerRow())
+	}
+}
+
+// All runs every experiment in order.
+func All(cfg Config) error {
+	Table3(cfg)
+	Table4(cfg)
+	Table5(cfg)
+	if err := Fig6(cfg); err != nil {
+		return err
+	}
+	var results []*BenchResult
+	for _, b := range workloads.Benchmarks(cfg.Scale) {
+		cfg.printf("\nrunning %s...\n", b.Name)
+		r, err := RunBenchmark(cfg, b)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	Fig9(cfg, results)
+	Fig10(cfg, results)
+	Fig11(cfg, results)
+	if err := Fig12(cfg); err != nil {
+		return err
+	}
+	if err := Fig13(cfg); err != nil {
+		return err
+	}
+	return Fig14(cfg)
+}

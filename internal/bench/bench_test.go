@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"phloem/internal/workloads"
+)
+
+func cfgInto(buf *bytes.Buffer) Config {
+	return Config{Scale: workloads.ScaleTest, Out: buf}
+}
+
+func TestTableFormatting(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := cfgInto(&buf)
+	Table3(cfg)
+	Table4(cfg)
+	Table5(cfg)
+	out := buf.String()
+	for _, want := range []string{
+		"Table III", "6-wide OOO", "16 queues max",
+		"Table IV", "Road network", "road-usa",
+		"Table V", "Structural", "avg nnz/row",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in tables output", want)
+		}
+	}
+}
+
+func TestGmean(t *testing.T) {
+	if g := gmean([]float64{2, 8}); g < 3.999999 || g > 4.000001 {
+		t.Errorf("gmean(2,8) = %v", g)
+	}
+	if g := gmean([]float64{3}); g < 2.999999 || g > 3.000001 {
+		t.Errorf("gmean(3) = %v", g)
+	}
+	if g := gmean(nil); g != 0 {
+		t.Errorf("gmean(nil) = %v", g)
+	}
+}
+
+func TestReplBindingsPrivatization(t *testing.T) {
+	bench, err := workloads.ByName(workloads.ScaleTest, "BFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := replBindings(bench.Train[0].Bind(), 2, sharedSlots("BFS"))
+	if _, ok := b.Ints["nodes"]; !ok {
+		t.Error("shared nodes binding missing")
+	}
+	if _, ok := b.Ints["r0.distances"]; !ok {
+		t.Error("replica 0 distances missing")
+	}
+	if _, ok := b.Ints["r1.distances"]; !ok {
+		t.Error("replica 1 distances missing")
+	}
+	if _, ok := b.Ints["distances"]; ok {
+		t.Error("unprefixed private binding should not exist")
+	}
+	// Private copies must be independent.
+	b.Ints["r0.distances"][0] = 123
+	if b.Ints["r1.distances"][0] == 123 {
+		t.Error("replica arrays alias each other")
+	}
+}
+
+// TestFig6OnSmallInput runs the pass-ablation experiment end to end at test
+// scale (the cheapest full-experiment smoke test).
+func TestFig6OnSmallInput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := Fig6(cfgInto(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"serial", "Q (add queues)", "RA,CH,CV,DCE,R,Q", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig6 output missing %q:\n%s", want, out)
+		}
+	}
+}

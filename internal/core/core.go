@@ -1,0 +1,334 @@
+// Package core is the Phloem compiler driver: it takes serial C-subset
+// source, finds decoupling points with the static cost model (Sec. V), runs
+// the pipelining passes (Sec. IV-B), and — in profile-guided mode —
+// enumerates candidate pipelines, measures them on training inputs, and
+// selects the best (Fig. 8).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"phloem/internal/analysis"
+	"phloem/internal/arch"
+	"phloem/internal/ir"
+	"phloem/internal/lower"
+	"phloem/internal/passes"
+	"phloem/internal/pipeline"
+	"phloem/internal/source"
+)
+
+// Mode selects the compilation flow of Fig. 8.
+type Mode int
+
+const (
+	// Static uses the cost model's top-ranked points directly.
+	Static Mode = iota
+	// Autotune profiles candidate pipelines on training inputs.
+	Autotune
+)
+
+// Options configures a compilation.
+type Options struct {
+	// Mode selects static or profile-guided point selection.
+	Mode Mode
+	// MaxThreads bounds the stage count (SMT width, default 4).
+	MaxThreads int
+	// Passes selects the pipelining passes (Fig. 6 ablations). Defaults to
+	// all passes when zero-valued and EnableAblation is false.
+	Passes passes.Options
+	// EnableAblation uses Passes exactly as given (otherwise all passes run).
+	EnableAblation bool
+	// Machine is the build-target configuration.
+	Machine arch.Config
+	// Training supplies inputs for Autotune mode: each function receives a
+	// candidate pipeline and returns its cycle count (or an error to skip).
+	Training []func(*pipeline.Pipeline) (uint64, error)
+	// MaxCandidates bounds the candidate points considered per phase during
+	// the search (default 5).
+	MaxCandidates int
+	// Trace receives search progress lines (optional).
+	Trace func(format string, args ...any)
+}
+
+// DefaultOptions returns an all-passes static compilation for the Table III
+// machine.
+func DefaultOptions() Options {
+	return Options{
+		MaxThreads: 4,
+		Machine:    arch.DefaultConfig(1),
+	}
+}
+
+// Result is a compiled pipeline plus how it was chosen.
+type Result struct {
+	Pipeline *pipeline.Pipeline
+	Prog     *ir.Prog
+	// Searched reports how many candidate pipelines the autotuner measured.
+	Searched int
+	// TrainCycles is the selected pipeline's summed training cycle count
+	// (autotune mode only).
+	TrainCycles uint64
+	// ReplicateRequested carries the `#pragma replicate(N)` count; apply it
+	// with pipeline.Replicate, supplying the shared arrays and per-replica
+	// scalars (the replicate_arguments() analogue of Sec. IV-C).
+	ReplicateRequested int
+}
+
+// CompileSource parses, checks, and lowers source, then builds a pipeline.
+func CompileSource(src string, opt Options) (*Result, error) {
+	fn, err := source.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("core: parse: %w", err)
+	}
+	if err := source.Check(fn); err != nil {
+		return nil, fmt.Errorf("core: check: %w", err)
+	}
+	p, err := lower.FromAST(fn)
+	if err != nil {
+		return nil, fmt.Errorf("core: lower: %w", err)
+	}
+	return Compile(p, opt)
+}
+
+// Compile builds a pipeline from an already-lowered program.
+func Compile(p *ir.Prog, opt Options) (*Result, error) {
+	if opt.MaxThreads <= 0 {
+		opt.MaxThreads = 4
+	}
+	if opt.Machine.Cores == 0 {
+		opt.Machine = arch.DefaultConfig(1)
+	}
+	if !opt.EnableAblation {
+		opt.Passes = passes.Default()
+	}
+	if opt.MaxCandidates <= 0 {
+		opt.MaxCandidates = 5
+	}
+
+	an := analysis.New(p)
+	phases := analysis.ProgramPhases(p.Body)
+	cands := make([][]*analysis.Candidate, len(phases))
+	for i, ph := range phases {
+		cands[i] = an.Candidates(ph)
+	}
+
+	if opt.Mode == Autotune && len(opt.Training) > 0 {
+		return autotune(p, phases, cands, opt)
+	}
+	return buildStatic(p, cands, opt)
+}
+
+func buildCfg(opt Options) passes.BuildConfig {
+	return passes.BuildConfig{
+		MaxRAs:         opt.Machine.MaxRAs,
+		ThreadsPerCore: opt.Machine.ThreadsPerCore,
+	}
+}
+
+// staticCut selects the (N-1) highest-ranked points, dropping points whose
+// predicted profit is negligible next to the top one (decoupling a nearly
+// free access only adds queue traffic).
+func staticCut(cs []*analysis.Candidate, maxThreads int) []*analysis.Candidate {
+	// The static flow only decouples at freely movable loads; prefetch-only
+	// boundaries (race-pinned loads) are left to the autotuner.
+	var movable []*analysis.Candidate
+	for _, c := range cs {
+		if !c.PrefetchOnly {
+			movable = append(movable, c)
+		}
+	}
+	k := maxThreads - 1
+	if k > len(movable) {
+		k = len(movable)
+	}
+	cut := movable[:k]
+	if len(cut) > 0 {
+		thresh := cut[0].Rank / 100
+		for len(cut) > 1 && cut[len(cut)-1].Rank < thresh {
+			cut = cut[:len(cut)-1]
+		}
+	}
+	return analysis.OrderPoints(cut)
+}
+
+// buildStatic picks the (N-1) highest-ranked points per phase; phases with
+// `#pragma decouple` marks use the programmer's points instead (Table II).
+func buildStatic(p *ir.Prog, cands [][]*analysis.Candidate, opt Options) (*Result, error) {
+	an := analysis.New(p)
+	phases := analysis.ProgramPhases(p.Body)
+	points := make([][]*analysis.Candidate, len(cands))
+	for i, cs := range cands {
+		if forced := an.ForcedPoints(phases[i]); len(forced) > 0 {
+			points[i] = forced
+			continue
+		}
+		points[i] = staticCut(cs, opt.MaxThreads)
+	}
+	pipe, err := passes.Build(p, points, opt.Passes, buildCfg(opt))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Pipeline: pipe, Prog: p, ReplicateRequested: p.Replicate}, nil
+}
+
+// autotune enumerates candidate point subsets per phase (from the
+// MaxCandidates highest-ranked), builds each pipeline, runs it on the
+// training inputs, and returns the fastest (Sec. V, "Autotuning decoupling
+// points"). Phases are tuned jointly when there is one phase (the common
+// case); multi-phase programs tune each phase greedily against the others'
+// static choices to keep the search tractable.
+func autotune(p *ir.Prog, phases []*analysis.Phase, cands [][]*analysis.Candidate, opt Options) (*Result, error) {
+	static, err := buildStatic(p, cands, opt)
+	if err != nil {
+		return nil, err
+	}
+	bestPipe := static.Pipeline
+	bestCycles, err := measure(bestPipe, opt)
+	if err != nil {
+		return nil, fmt.Errorf("core: static pipeline failed training: %w", err)
+	}
+	searched := 1
+	trace := opt.Trace
+	if trace == nil {
+		trace = func(string, ...any) {}
+	}
+	trace("autotune: static pipeline %d train cycles", bestCycles)
+
+	staticPoints := make([][]*analysis.Candidate, len(cands))
+	for i, cs := range cands {
+		staticPoints[i] = staticCut(cs, opt.MaxThreads)
+	}
+
+	for pi := range phases {
+		top := cands[pi]
+		if len(top) > opt.MaxCandidates {
+			top = top[:opt.MaxCandidates]
+		}
+		for _, subset := range subsets(len(top), opt.MaxThreads-1) {
+			pts := make([]*analysis.Candidate, len(subset))
+			for j, idx := range subset {
+				pts[j] = top[idx]
+			}
+			points := make([][]*analysis.Candidate, len(cands))
+			copy(points, staticPoints)
+			points[pi] = analysis.OrderPoints(pts)
+			pipe, err := passes.Build(p, points, opt.Passes, buildCfg(opt))
+			if err != nil {
+				continue // unsupported shape: skip this candidate
+			}
+			searched++
+			cycles, err := measure(pipe, opt)
+			if err != nil {
+				trace("autotune: pipeline %v failed: %v", subset, err)
+				continue
+			}
+			trace("autotune: %d stages (+%d RAs) subset %v -> %d cycles",
+				pipe.NumStages(), len(pipe.RAs), subset, cycles)
+			if cycles < bestCycles {
+				bestCycles = cycles
+				bestPipe = pipe
+			}
+		}
+	}
+	return &Result{Pipeline: bestPipe, Prog: p, Searched: searched, TrainCycles: bestCycles}, nil
+}
+
+// SearchResults measures every candidate pipeline and reports (stages,
+// cycles) pairs — the raw data behind Fig. 13.
+type SearchPoint struct {
+	TotalStages int
+	Cycles      uint64
+	Subset      []int
+}
+
+// Search enumerates and measures all candidate pipelines of a single-phase
+// program, returning every measured point (used by the Fig. 13 experiment).
+func Search(p *ir.Prog, opt Options) ([]SearchPoint, error) {
+	if !opt.EnableAblation {
+		opt.Passes = passes.Default()
+	}
+	if opt.MaxThreads <= 0 {
+		opt.MaxThreads = 4
+	}
+	if opt.MaxCandidates <= 0 {
+		opt.MaxCandidates = 5
+	}
+	if opt.Machine.Cores == 0 {
+		opt.Machine = arch.DefaultConfig(1)
+	}
+	an := analysis.New(p)
+	phases := analysis.ProgramPhases(p.Body)
+	cands := make([][]*analysis.Candidate, len(phases))
+	for i, ph := range phases {
+		cands[i] = an.Candidates(ph)
+	}
+	var out []SearchPoint
+	for pi := range phases {
+		top := cands[pi]
+		if len(top) > opt.MaxCandidates {
+			top = top[:opt.MaxCandidates]
+		}
+		for _, subset := range subsets(len(top), opt.MaxThreads-1) {
+			pts := make([]*analysis.Candidate, len(subset))
+			for j, idx := range subset {
+				pts[j] = top[idx]
+			}
+			points := make([][]*analysis.Candidate, len(cands))
+			for i, cs := range cands {
+				points[i] = staticCut(cs, opt.MaxThreads)
+			}
+			points[pi] = analysis.OrderPoints(pts)
+			pipe, err := passes.Build(p, points, opt.Passes, buildCfg(opt))
+			if err != nil {
+				continue
+			}
+			cycles, err := measure(pipe, opt)
+			if err != nil {
+				continue
+			}
+			out = append(out, SearchPoint{
+				TotalStages: pipe.TotalStages(),
+				Cycles:      cycles,
+				Subset:      subset,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TotalStages < out[j].TotalStages })
+	return out, nil
+}
+
+func measure(pipe *pipeline.Pipeline, opt Options) (uint64, error) {
+	var total uint64
+	for _, train := range opt.Training {
+		c, err := train(pipe)
+		if err != nil {
+			return 0, err
+		}
+		total += c
+	}
+	return total, nil
+}
+
+// subsets enumerates all non-empty subsets of {0..n-1} with size <= maxSize,
+// in deterministic order.
+func subsets(n, maxSize int) [][]int {
+	var out [][]int
+	var cur []int
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) > 0 {
+			out = append(out, append([]int(nil), cur...))
+		}
+		if len(cur) == maxSize {
+			return
+		}
+		for i := start; i < n; i++ {
+			cur = append(cur, i)
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,54 @@
+package core_test
+
+import (
+	"testing"
+
+	"phloem/internal/arch"
+	"phloem/internal/core"
+	"phloem/internal/pipeline"
+)
+
+// The decouple pragma forces a 2-stage split at the marked load even though
+// the cost model would pick a different shape.
+const markedKernel = `
+#pragma phloem
+void gather(int* restrict a, int* restrict b, int* restrict out, int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    int idx = a[i];
+#pragma decouple
+    int v = b[idx];
+    acc = acc + v;
+  }
+  out[0] = acc;
+}
+`
+
+func TestPragmaDecoupleForcesBoundary(t *testing.T) {
+	res, err := core.CompileSource(markedKernel, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pipeline.NumStages() != 2 {
+		t.Errorf("forced decoupling should make exactly 2 stages, got %d\n%s",
+			res.Pipeline.NumStages(), res.Pipeline.Describe())
+	}
+	b := pipeline.Bindings{
+		Ints: map[string][]int64{
+			"a":   {2, 0, 1, 2},
+			"b":   {10, 20, 30},
+			"out": make([]int64, 1),
+		},
+		Scalars: map[string]int64{"n": 4},
+	}
+	inst, err := pipeline.Instantiate(res.Pipeline, arch.DefaultConfig(1), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Arrays["out"].Ints()[0]; got != 30+10+20+30 {
+		t.Errorf("out = %d, want 90", got)
+	}
+}

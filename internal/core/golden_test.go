@@ -1,0 +1,107 @@
+package core_test
+
+import (
+	"testing"
+
+	"phloem/internal/arch"
+	"phloem/internal/core"
+	"phloem/internal/taco"
+	"phloem/internal/workloads"
+)
+
+// TestPipelineStructureGoldens pins the static flow's output shape for every
+// benchmark: stage counts, RA counts, and RA modes. These are regression
+// anchors for the cost model and the passes (a structural change here should
+// be a conscious decision).
+func TestPipelineStructureGoldens(t *testing.T) {
+	cases := []struct {
+		name    string
+		source  string
+		stages  int
+		ras     int
+		raModes []arch.RAMode
+	}{
+		{
+			// Driver, vertex doubler, update + fringe scan -> nodes
+			// indirect -> edges scan (the paper's BFS pipeline).
+			name: "BFS", source: workloads.BFSSource,
+			stages: 3, ras: 3,
+			raModes: []arch.RAMode{arch.RAScan, arch.RAIndirect, arch.RAScan},
+		},
+		{
+			// Driver, nodes stage, label accumulator + edges scan.
+			name: "CC", source: workloads.CCSource,
+			stages: 3, ras: 1,
+			raModes: []arch.RAMode{arch.RAScan},
+		},
+		{
+			// Phased: push phase decouples at delta/nodes/edges; apply
+			// phase stays serial (all its arrays are read-write).
+			name: "PRD", source: workloads.PRDSource,
+			stages: 3, ras: 1,
+			raModes: []arch.RAMode{arch.RAScan},
+		},
+		{
+			// Driver, nodes stage, mask accumulator; edges scan chained
+			// into the visited indirect RA (the relay stage dissolves).
+			name: "Radii", source: workloads.RadiiSource,
+			stages: 3, ras: 2,
+			raModes: []arch.RAMode{arch.RAScan, arch.RAIndirect},
+		},
+		{
+			// The merge loop cannot be decoupled across (data-dependent
+			// bounds force item-level feedback); coordinate points only.
+			name: "SpMM", source: workloads.SpMMSource,
+			stages: 3, ras: 0,
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			res, err := core.CompileSource(c.source, core.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl := res.Pipeline
+			if pl.NumStages() != c.stages || len(pl.RAs) != c.ras {
+				t.Errorf("%s: %d stages + %d RAs, want %d + %d\n%s",
+					c.name, pl.NumStages(), len(pl.RAs), c.stages, c.ras, pl.Describe())
+			}
+			for i, mode := range c.raModes {
+				if i < len(pl.RAs) && pl.RAs[i].Mode != mode {
+					t.Errorf("%s RA %d mode %v, want %v", c.name, i, pl.RAs[i].Mode, mode)
+				}
+			}
+		})
+	}
+}
+
+// TestTacoPipelineGoldens pins the Taco kernels' static shapes.
+func TestTacoPipelineGoldens(t *testing.T) {
+	cases := []struct {
+		k      taco.Kernel
+		stages int
+		ras    int
+	}{
+		{taco.SpMV, 3, 3},     // cols scan + vals scan + x indirect
+		{taco.Residual, 3, 3}, // like SpMV with the extra b[i] in the tail
+		// phase 2 decouples with paired cols/vals scans (y is read-write,
+		// so no x-style indirect RA applies); phase 1 is regular
+		{taco.MTMul, 3, 2},
+	}
+	for _, c := range cases {
+		src, err := taco.Emit(c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.CompileSource(src, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", c.k, err)
+		}
+		if res.Pipeline.NumStages() != c.stages || len(res.Pipeline.RAs) != c.ras {
+			t.Errorf("%s: %d stages + %d RAs, want %d + %d\n%s", c.k,
+				res.Pipeline.NumStages(), len(res.Pipeline.RAs),
+				c.stages, c.ras, res.Pipeline.Describe())
+		}
+	}
+}

@@ -1,0 +1,295 @@
+// Package ir defines Phloem's intermediate representation (Sec. V of the
+// paper): a structured tree of fine-grain operations with first-class queue
+// operations and control-flow conveyance. Unlike conventional IRs, any two
+// operations can be decoupled into separate pipeline stages.
+//
+// The IR is normalized: every operand is a virtual variable or a constant,
+// every load/store is its own statement, and loops carry an explicit
+// condition block. Virtual variables are mutable (non-SSA); stages get
+// private register files when flattened, so cross-stage communication is
+// explicit through queue operations.
+package ir
+
+import "fmt"
+
+// Kind is a value kind.
+type Kind uint8
+
+const (
+	KInt Kind = iota
+	KFloat
+)
+
+func (k Kind) String() string {
+	if k == KFloat {
+		return "float"
+	}
+	return "int"
+}
+
+// Var names a virtual variable.
+type Var int32
+
+// VarInfo describes one virtual variable.
+type VarInfo struct {
+	Name  string
+	Kind  Kind
+	Param bool // scalar function parameter (initialized externally)
+}
+
+// SlotInfo describes one array slot.
+type SlotInfo struct {
+	Name string
+	Kind Kind
+}
+
+// Operand is a variable reference or an immediate constant.
+type Operand struct {
+	IsConst bool
+	Var     Var
+	// Imm holds the constant (float64 bit pattern for KFloat constants).
+	Imm int64
+}
+
+// V makes a variable operand.
+func V(v Var) Operand { return Operand{Var: v} }
+
+// C makes an integer constant operand.
+func C(imm int64) Operand { return Operand{IsConst: true, Imm: imm} }
+
+func (o Operand) String() string {
+	if o.IsConst {
+		return fmt.Sprintf("%d", o.Imm)
+	}
+	return fmt.Sprintf("v%d", o.Var)
+}
+
+// BinOp enumerates binary operations (kind determines int vs float form).
+type BinOp uint8
+
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpEQ
+	OpNE
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+)
+
+var binNames = [...]string{"add", "sub", "mul", "div", "rem", "and", "or",
+	"xor", "shl", "shr", "eq", "ne", "lt", "le", "gt", "ge"}
+
+func (o BinOp) String() string { return binNames[o] }
+
+// IsCmp reports whether the op is a comparison (result kind is int).
+func (o BinOp) IsCmp() bool { return o >= OpEQ }
+
+// UnOp enumerates unary operations.
+type UnOp uint8
+
+const (
+	OpMov UnOp = iota
+	OpNeg
+	OpNot  // logical ! (int)
+	OpBNot // bitwise ~ (int)
+	OpAbs
+	OpI2F
+	OpF2I
+	OpIsCtrl   // 1 if the operand carries the control tag
+	OpCtrlCode // control code of the operand
+)
+
+var unNames = [...]string{"mov", "neg", "not", "bnot", "abs", "i2f", "f2i",
+	"isctrl", "ctrlcode"}
+
+func (o UnOp) String() string { return unNames[o] }
+
+// Rval is the right-hand side of an assignment.
+type Rval interface{ rval() }
+
+// RvalBin is a binary operation.
+type RvalBin struct {
+	Op    BinOp
+	Float bool // operand kind
+	A, B  Operand
+}
+
+// RvalUn is a unary operation (including plain moves).
+type RvalUn struct {
+	Op    UnOp
+	Float bool
+	A     Operand
+}
+
+// RvalLoad is a memory load. LoadID uniquely names the load site for the
+// cost model and decoupling points.
+type RvalLoad struct {
+	LoadID int
+	Slot   int
+	Idx    Operand
+}
+
+// RvalDeq dequeues from a queue (inserted by the pipelining passes).
+type RvalDeq struct{ Q int }
+
+// RvalHandlerVal reads the control code that fired the current handler.
+type RvalHandlerVal struct{}
+
+func (*RvalBin) rval()        {}
+func (*RvalUn) rval()         {}
+func (*RvalLoad) rval()       {}
+func (*RvalDeq) rval()        {}
+func (*RvalHandlerVal) rval() {}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// Assign sets Dst from an Rval.
+type Assign struct {
+	Dst Var
+	Src Rval
+}
+
+// Store writes an array element. StoreID uniquely names the store site.
+type Store struct {
+	StoreID int
+	Slot    int
+	Idx     Operand
+	Val     Operand
+}
+
+// Prefetch warms the cache line of an array element without reading it
+// (emitted by pass 3 for loads the race rule pins to a later stage).
+type Prefetch struct {
+	Slot int
+	Idx  Operand
+}
+
+// If is a conditional.
+type If struct {
+	Cond Operand
+	Then []Stmt
+	Else []Stmt
+}
+
+// Counted describes a canonical counted loop: for (v = Init; v < Bound; v++).
+type Counted struct {
+	Ind   Var
+	Init  Operand
+	Bound Operand
+}
+
+// Loop is a general loop: run Pre, test Cond, run Body, repeat. Counted is
+// non-nil when the loop was recognized as a canonical counted loop (the Pre
+// block then just computes Cond from the induction variable).
+type Loop struct {
+	// ID uniquely names the loop for decoupling bookkeeping.
+	ID      int
+	Pre     []Stmt
+	Cond    Operand
+	Body    []Stmt
+	Counted *Counted
+	// Decouple marks a #pragma decouple on this loop.
+	Decouple bool
+}
+
+// Swap exchanges two array slot bindings machine-wide.
+type Swap struct{ A, B int }
+
+// Enq enqueues a data value.
+type Enq struct {
+	Q   int
+	Val Operand
+}
+
+// EnqCtrl enqueues a control value with a static code.
+type EnqCtrl struct {
+	Q    int
+	Code int64
+}
+
+// SetHandler registers a control-value handler for a queue. Handler bodies
+// are represented structurally by the passes and materialized at flatten
+// time; Label names the handler block within the stage.
+type SetHandler struct {
+	Q     int
+	Label string
+}
+
+// Barrier synchronizes all pipeline stages between program phases.
+type Barrier struct{}
+
+// DecoupleMark records a `#pragma decouple` statement boundary.
+type DecoupleMark struct{}
+
+// Label marks a jump target in generated stage code. The frontend never
+// emits labels; the pipelining passes use them for control-value dispatch.
+type Label struct{ Name string }
+
+// Goto jumps to a Label in the same stage.
+type Goto struct{ Name string }
+
+// Halt ends a stage program explicitly (generated code only; flattening
+// appends a final halt to every stage regardless).
+type Halt struct{}
+
+func (*Assign) stmt()       {}
+func (*Store) stmt()        {}
+func (*Prefetch) stmt()     {}
+func (*If) stmt()           {}
+func (*Loop) stmt()         {}
+func (*Swap) stmt()         {}
+func (*Enq) stmt()          {}
+func (*EnqCtrl) stmt()      {}
+func (*SetHandler) stmt()   {}
+func (*Barrier) stmt()      {}
+func (*DecoupleMark) stmt() {}
+func (*Label) stmt()        {}
+func (*Goto) stmt()         {}
+func (*Halt) stmt()         {}
+
+// Prog is one kernel in IR form.
+type Prog struct {
+	Name  string
+	Vars  []VarInfo
+	Slots []SlotInfo
+	// ScalarParams lists the vars bound from scalar arguments, in the
+	// declaration order of the original function's scalar parameters.
+	ScalarParams []Var
+	Body         []Stmt
+	NumLoads     int
+	NumStores    int
+	NumLoops     int
+	// Replicate and Distribute mirror the source pragmas.
+	Replicate  int
+	Distribute bool
+}
+
+// NewVar appends a fresh variable and returns it.
+func (p *Prog) NewVar(name string, k Kind) Var {
+	p.Vars = append(p.Vars, VarInfo{Name: name, Kind: k})
+	return Var(len(p.Vars) - 1)
+}
+
+// VarKind returns the kind of v.
+func (p *Prog) VarKind(v Var) Kind { return p.Vars[v].Kind }
+
+// SlotIndex finds a slot by name (-1 if absent).
+func (p *Prog) SlotIndex(name string) int {
+	for i, s := range p.Slots {
+		if s.Name == name {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,92 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOptimizeDeadCode(t *testing.T) {
+	p := &Prog{}
+	a := p.NewVar("a", KInt)
+	dead := p.NewVar("dead", KInt)
+	body := []Stmt{
+		&Assign{Dst: a, Src: &RvalUn{Op: OpMov, A: C(1)}},
+		&Assign{Dst: dead, Src: &RvalBin{Op: OpAdd, A: V(a), B: C(2)}},
+		&Enq{Q: 0, Val: V(a)},
+	}
+	out := Optimize(p, body)
+	if len(out) != 2 {
+		t.Fatalf("dead assign not removed: %d stmts", len(out))
+	}
+}
+
+func TestOptimizeKeepsSideEffects(t *testing.T) {
+	p := &Prog{Slots: []SlotInfo{{Name: "m", Kind: KInt}}}
+	x := p.NewVar("x", KInt)
+	body := []Stmt{
+		&Assign{Dst: x, Src: &RvalDeq{Q: 3}}, // dequeues must survive
+		&Store{Slot: 0, Idx: C(0), Val: C(1)},
+	}
+	out := Optimize(p, body)
+	if len(out) != 2 {
+		t.Fatalf("side-effecting statements removed: %d stmts", len(out))
+	}
+}
+
+func TestOptimizeCopyMerge(t *testing.T) {
+	p := &Prog{Slots: []SlotInfo{{Name: "m", Kind: KInt}}}
+	tv := p.NewVar("t", KInt)
+	v := p.NewVar("v", KInt)
+	body := []Stmt{
+		&Assign{Dst: tv, Src: &RvalLoad{Slot: 0, Idx: C(0)}},
+		&Assign{Dst: v, Src: &RvalUn{Op: OpMov, A: V(tv)}},
+		&Enq{Q: 0, Val: V(v)},
+	}
+	out := Optimize(p, body)
+	if len(out) != 2 {
+		t.Fatalf("copy not merged: %d stmts\n%s", len(out), p.PrintStmts(out))
+	}
+	a := out[0].(*Assign)
+	if a.Dst != v {
+		t.Errorf("merged destination: %d", a.Dst)
+	}
+	if _, ok := a.Src.(*RvalLoad); !ok {
+		t.Error("merged statement should keep the load")
+	}
+}
+
+func TestOptimizeDoesNotMergeMultiUse(t *testing.T) {
+	p := &Prog{}
+	tv := p.NewVar("t", KInt)
+	v := p.NewVar("v", KInt)
+	body := []Stmt{
+		&Assign{Dst: tv, Src: &RvalDeq{Q: 1}},
+		&Assign{Dst: v, Src: &RvalUn{Op: OpIsCtrl, A: V(tv)}},
+		&Enq{Q: 0, Val: V(tv)},
+		&Enq{Q: 0, Val: V(v)},
+	}
+	out := Optimize(p, body)
+	if len(out) != 4 {
+		t.Fatalf("multi-use value must not merge: %d stmts", len(out))
+	}
+}
+
+func TestPrintCoversStatements(t *testing.T) {
+	p := &Prog{Name: "t", Slots: []SlotInfo{{Name: "arr", Kind: KInt}}}
+	v := p.NewVar("v", KInt)
+	p.Body = []Stmt{
+		&Assign{Dst: v, Src: &RvalLoad{LoadID: 1, Slot: 0, Idx: C(0)}},
+		&If{Cond: V(v), Then: []Stmt{&Store{Slot: 0, Idx: C(0), Val: V(v)}}},
+		&Loop{ID: 0, Cond: V(v), Body: []Stmt{&EnqCtrl{Q: 1, Code: 16}}},
+		&Swap{A: 0, B: 0},
+		&Barrier{},
+		&Label{Name: "L"},
+		&Goto{Name: "L"},
+	}
+	out := p.Print()
+	for _, want := range []string{"load#1", "if", "loop#0", "swap", "barrier", "L:", "goto L"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printer output missing %q:\n%s", want, out)
+		}
+	}
+}

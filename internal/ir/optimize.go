@@ -1,0 +1,125 @@
+package ir
+
+// Optimize performs the local cleanups a -O3 backend would: dead pure
+// assignment elimination and adjacent copy merging (t = <op>; v = mov t
+// becomes v = <op> when t has no other uses). It operates on one stage's
+// body; stages have private registers, so per-body analysis is sound.
+// The input tree is not mutated: statements are copied when changed.
+func Optimize(p *Prog, body []Stmt) []Stmt {
+	out := body
+	for i := 0; i < 4; i++ {
+		uses, defs := countVars(out)
+		next, changed := rewrite(out, uses, defs)
+		out = next
+		if !changed {
+			break
+		}
+	}
+	return out
+}
+
+func countVars(body []Stmt) (uses, defs map[Var]int) {
+	uses = map[Var]int{}
+	defs = map[Var]int{}
+	countOp := func(o Operand) {
+		if !o.IsConst {
+			uses[o.Var]++
+		}
+	}
+	countRval := func(r Rval) {
+		switch r := r.(type) {
+		case *RvalBin:
+			countOp(r.A)
+			countOp(r.B)
+		case *RvalUn:
+			countOp(r.A)
+		case *RvalLoad:
+			countOp(r.Idx)
+		}
+	}
+	var walk func(list []Stmt)
+	walk = func(list []Stmt) {
+		for _, s := range list {
+			switch s := s.(type) {
+			case *Assign:
+				countRval(s.Src)
+				defs[s.Dst]++
+			case *Store:
+				countOp(s.Idx)
+				countOp(s.Val)
+			case *Prefetch:
+				countOp(s.Idx)
+			case *If:
+				countOp(s.Cond)
+				walk(s.Then)
+				walk(s.Else)
+			case *Loop:
+				walk(s.Pre)
+				countOp(s.Cond)
+				walk(s.Body)
+			case *Enq:
+				countOp(s.Val)
+			}
+		}
+	}
+	walk(body)
+	return uses, defs
+}
+
+// pureRval reports whether removing the assignment has no observable effect
+// beyond its destination. Loads count as pure (a dead load would be removed
+// by any optimizing backend); dequeues and handler reads have side effects.
+func pureRval(r Rval) bool {
+	switch r.(type) {
+	case *RvalBin, *RvalUn, *RvalLoad:
+		return true
+	}
+	return false
+}
+
+func rewrite(body []Stmt, uses, defs map[Var]int) ([]Stmt, bool) {
+	changed := false
+	var walk func(list []Stmt) []Stmt
+	walk = func(list []Stmt) []Stmt {
+		var out []Stmt
+		for _, s := range list {
+			switch s := s.(type) {
+			case *Assign:
+				// Dead pure assignment.
+				if uses[s.Dst] == 0 && pureRval(s.Src) {
+					changed = true
+					continue
+				}
+				// Adjacent copy merge: previous assign defines t exactly
+				// once, this is `v = mov t`, and t has no other uses.
+				if un, ok := s.Src.(*RvalUn); ok && un.Op == OpMov && !un.A.IsConst {
+					t := un.A.Var
+					if len(out) > 0 && uses[t] == 1 && defs[t] == 1 {
+						if prev, ok2 := out[len(out)-1].(*Assign); ok2 && prev.Dst == t {
+							merged := *prev
+							merged.Dst = s.Dst
+							out[len(out)-1] = &merged
+							changed = true
+							continue
+						}
+					}
+				}
+				out = append(out, s)
+			case *If:
+				c := *s
+				c.Then = walk(s.Then)
+				c.Else = walk(s.Else)
+				out = append(out, &c)
+			case *Loop:
+				c := *s
+				c.Pre = walk(s.Pre)
+				c.Body = walk(s.Body)
+				out = append(out, &c)
+			default:
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	return walk(body), changed
+}

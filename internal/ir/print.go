@@ -1,0 +1,148 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Print renders the program in a readable indented form, used for debugging
+// and golden tests of the lowering and pipelining passes.
+func (p *Prog) Print() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "prog %s\n", p.Name)
+	for i, s := range p.Slots {
+		fmt.Fprintf(&sb, "  slot %d: %s %s\n", i, s.Kind, s.Name)
+	}
+	pr := &printer{sb: &sb, p: p}
+	pr.stmts(p.Body, 1)
+	return sb.String()
+}
+
+// PrintStmts renders a statement list (used for per-stage dumps).
+func (p *Prog) PrintStmts(body []Stmt) string {
+	var sb strings.Builder
+	pr := &printer{sb: &sb, p: p}
+	pr.stmts(body, 0)
+	return sb.String()
+}
+
+type printer struct {
+	sb *strings.Builder
+	p  *Prog
+}
+
+func (pr *printer) indent(n int) {
+	for i := 0; i < n; i++ {
+		pr.sb.WriteString("  ")
+	}
+}
+
+func (pr *printer) operand(o Operand) string {
+	if o.IsConst {
+		return fmt.Sprintf("%d", o.Imm)
+	}
+	name := pr.p.Vars[o.Var].Name
+	if name == "" {
+		return fmt.Sprintf("v%d", o.Var)
+	}
+	return fmt.Sprintf("%s.%d", name, o.Var)
+}
+
+func (pr *printer) fconst(o Operand) string {
+	if o.IsConst {
+		return fmt.Sprintf("%g", math.Float64frombits(uint64(o.Imm)))
+	}
+	return pr.operand(o)
+}
+
+func (pr *printer) stmts(list []Stmt, depth int) {
+	for _, s := range list {
+		pr.stmt(s, depth)
+	}
+}
+
+func (pr *printer) stmt(s Stmt, depth int) {
+	pr.indent(depth)
+	switch s := s.(type) {
+	case *Assign:
+		dst := pr.operand(V(s.Dst))
+		switch r := s.Src.(type) {
+		case *RvalBin:
+			suffix := ""
+			if r.Float {
+				suffix = "f"
+			}
+			a, b := pr.operand(r.A), pr.operand(r.B)
+			if r.Float {
+				a, b = pr.fconst(r.A), pr.fconst(r.B)
+			}
+			fmt.Fprintf(pr.sb, "%s = %s%s %s, %s\n", dst, r.Op, suffix, a, b)
+		case *RvalUn:
+			a := pr.operand(r.A)
+			if r.Float && r.Op != OpF2I {
+				a = pr.fconst(r.A)
+			}
+			fmt.Fprintf(pr.sb, "%s = %s %s\n", dst, r.Op, a)
+		case *RvalLoad:
+			fmt.Fprintf(pr.sb, "%s = load#%d %s[%s]\n", dst, r.LoadID,
+				pr.p.Slots[r.Slot].Name, pr.operand(r.Idx))
+		case *RvalDeq:
+			fmt.Fprintf(pr.sb, "%s = deq q%d\n", dst, r.Q)
+		case *RvalHandlerVal:
+			fmt.Fprintf(pr.sb, "%s = handlerval\n", dst)
+		}
+	case *Store:
+		fmt.Fprintf(pr.sb, "store#%d %s[%s] = %s\n", s.StoreID,
+			pr.p.Slots[s.Slot].Name, pr.operand(s.Idx), pr.operand(s.Val))
+	case *Prefetch:
+		fmt.Fprintf(pr.sb, "prefetch %s[%s]\n", pr.p.Slots[s.Slot].Name, pr.operand(s.Idx))
+	case *If:
+		fmt.Fprintf(pr.sb, "if %s {\n", pr.operand(s.Cond))
+		pr.stmts(s.Then, depth+1)
+		if len(s.Else) > 0 {
+			pr.indent(depth)
+			pr.sb.WriteString("} else {\n")
+			pr.stmts(s.Else, depth+1)
+		}
+		pr.indent(depth)
+		pr.sb.WriteString("}\n")
+	case *Loop:
+		extra := ""
+		if s.Counted != nil {
+			extra = fmt.Sprintf(" counted(%s: %s..%s)", pr.operand(V(s.Counted.Ind)),
+				pr.operand(s.Counted.Init), pr.operand(s.Counted.Bound))
+		}
+		fmt.Fprintf(pr.sb, "loop#%d%s {\n", s.ID, extra)
+		if len(s.Pre) > 0 {
+			pr.indent(depth + 1)
+			pr.sb.WriteString("pre:\n")
+			pr.stmts(s.Pre, depth+2)
+		}
+		pr.indent(depth + 1)
+		fmt.Fprintf(pr.sb, "while %s:\n", pr.operand(s.Cond))
+		pr.stmts(s.Body, depth+2)
+		pr.indent(depth)
+		pr.sb.WriteString("}\n")
+	case *Swap:
+		fmt.Fprintf(pr.sb, "swap %s, %s\n", pr.p.Slots[s.A].Name, pr.p.Slots[s.B].Name)
+	case *Enq:
+		fmt.Fprintf(pr.sb, "enq q%d, %s\n", s.Q, pr.operand(s.Val))
+	case *EnqCtrl:
+		fmt.Fprintf(pr.sb, "enq_ctrl q%d, %d\n", s.Q, s.Code)
+	case *SetHandler:
+		fmt.Fprintf(pr.sb, "set_handler q%d -> %s\n", s.Q, s.Label)
+	case *Barrier:
+		pr.sb.WriteString("barrier\n")
+	case *DecoupleMark:
+		pr.sb.WriteString("#decouple\n")
+	case *Label:
+		fmt.Fprintf(pr.sb, "%s:\n", s.Name)
+	case *Goto:
+		fmt.Fprintf(pr.sb, "goto %s\n", s.Name)
+	case *Halt:
+		pr.sb.WriteString("halt\n")
+	default:
+		fmt.Fprintf(pr.sb, "?%T\n", s)
+	}
+}

@@ -1,0 +1,79 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestInstrStringsCoverOpcodes exercises the disassembler across the ISA.
+func TestInstrStringsCoverOpcodes(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpConst, Dst: 1, Imm: 42}, "r1 = const 42"},
+		{Instr{Op: OpMov, Dst: 1, A: 2}, "r1 = mov r2"},
+		{Instr{Op: OpIAdd, Dst: 3, A: 1, B: 2}, "r3 = iadd r1, r2"},
+		{Instr{Op: OpIAddImm, Dst: 3, A: 1, Imm: -4}, "r3 = iaddi r1, -4"},
+		{Instr{Op: OpLoad, Dst: 2, A: 1, Slot: 5}, "r2 = load s5[r1]"},
+		{Instr{Op: OpStore, A: 1, B: 2, Slot: 5}, "store s5[r1] = r2"},
+		{Instr{Op: OpPrefetch, A: 1, Slot: 5}, "prefetch s5[r1]"},
+		{Instr{Op: OpEnq, A: 1, Q: 3}, "enq q3, r1"},
+		{Instr{Op: OpEnqCtrl, Q: 3, Imm: 16}, "enq_ctrl q3, 16"},
+		{Instr{Op: OpEnqCtrlV, Q: 3, A: 2}, "enq_ctrl q3, r2"},
+		{Instr{Op: OpDeq, Dst: 4, Q: 0}, "r4 = deq q0"},
+		{Instr{Op: OpPeek, Dst: 4, Q: 0}, "r4 = peek q0"},
+		{Instr{Op: OpIsCtrl, Dst: 2, A: 1}, "r2 = isctrl r1"},
+		{Instr{Op: OpCtrlCode, Dst: 2, A: 1}, "r2 = ctrlcode r1"},
+		{Instr{Op: OpSetHandler, Q: 1, Target: 9}, "set_handler q1 -> @9"},
+		{Instr{Op: OpHandlerVal, Dst: 7}, "r7 = handlerval"},
+		{Instr{Op: OpBr, A: 1, Target: 4}, "br r1 -> @4"},
+		{Instr{Op: OpBrZ, A: 1, Target: 4}, "brz r1 -> @4"},
+		{Instr{Op: OpJmp, Target: 4}, "jmp @4"},
+		{Instr{Op: OpHalt}, "halt"},
+		{Instr{Op: OpBarrier}, "barrier"},
+		{Instr{Op: OpSwapSlots, Slot: 1, Slot2: 2}, "swap s1, s2"},
+		{Instr{Op: OpNop}, "nop"},
+		{Instr{Op: OpFAdd, Dst: 3, A: 1, B: 2}, "r3 = fadd r1, r2"},
+		{Instr{Op: OpF2I, Dst: 3, A: 1}, "r3 = f2i r1"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%v: %q, want %q", c.in.Op, got, c.want)
+		}
+	}
+}
+
+func TestOpNamesComplete(t *testing.T) {
+	for op := OpNop; op <= OpSwapSlots; op++ {
+		if strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+	if !strings.HasPrefix(Op(200).String(), "op(") {
+		t.Error("unknown opcode should fall back to numeric form")
+	}
+}
+
+func TestValidateBadTargetsAndSlots(t *testing.T) {
+	mk := func(in Instr) *Program {
+		return &Program{Name: "t", Instrs: []Instr{in, {Op: OpHalt}}, NumRegs: 4}
+	}
+	bad := []Instr{
+		{Op: OpJmp, Target: 99},
+		{Op: OpBr, A: 0, Target: -1},
+		{Op: OpLoad, Dst: 0, A: 1, Slot: 7},
+		{Op: OpSwapSlots, Slot: 0, Slot2: 9},
+		{Op: OpIAdd, Dst: 9, A: 0, B: 1}, // dst out of range
+		{Op: OpIAdd, Dst: 0, A: 9, B: 1}, // src out of range
+	}
+	for i, in := range bad {
+		if err := mk(in).Validate(2, 2); err == nil {
+			t.Errorf("case %d (%v) should fail validation", i, in.Op)
+		}
+	}
+	good := Instr{Op: OpLoad, Dst: 0, A: 1, Slot: 1}
+	if err := mk(good).Validate(2, 2); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+}

@@ -1,0 +1,208 @@
+package lower_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"phloem/internal/arch"
+	"phloem/internal/lower"
+	"phloem/internal/pipeline"
+	"phloem/internal/source"
+)
+
+// compile lowers source to IR, failing the test on errors.
+func compile(t *testing.T, src string) *pipeline.Pipeline {
+	t.Helper()
+	fn, err := source.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := source.Check(fn); err != nil {
+		t.Fatal(err)
+	}
+	p, err := lower.FromAST(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pipeline.NewSerial(p)
+}
+
+// run executes a serial kernel and returns the out array.
+func run(t *testing.T, pl *pipeline.Pipeline, b pipeline.Bindings) *pipeline.Instance {
+	t.Helper()
+	inst, err := pipeline.Instantiate(pl, arch.DefaultConfig(1), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestArithmeticSemantics(t *testing.T) {
+	pl := compile(t, `
+void k(int* restrict out, int a, int b) {
+  out[0] = a + b;
+  out[1] = a - b;
+  out[2] = a * b;
+  out[3] = a / b;
+  out[4] = a % b;
+  out[5] = a & b;
+  out[6] = a | b;
+  out[7] = a ^ b;
+  out[8] = a << 2;
+  out[9] = a >> 1;
+  out[10] = -a;
+  out[11] = !a;
+  out[12] = ~a;
+  out[13] = min(a, b);
+  out[14] = max(a, b);
+  out[15] = abs(0 - a);
+}
+`)
+	f := func(a8, b8 int8) bool {
+		a, b := int64(a8), int64(b8)
+		if b == 0 {
+			b = 1
+		}
+		inst := run(t, pl, pipeline.Bindings{
+			Ints:    map[string][]int64{"out": make([]int64, 16)},
+			Scalars: map[string]int64{"a": a, "b": b},
+		})
+		got := inst.Arrays["out"].Ints()
+		bnot := a
+		bnot = ^bnot
+		want := []int64{a + b, a - b, a * b, a / b, a % b, a & b, a | b, a ^ b,
+			a << 2, a >> 1, -a, boolToInt(a == 0), bnot,
+			minI(a, b), maxI(a, b), absI(a)}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Logf("a=%d b=%d out[%d]=%d want %d", a, b, i, got[i], want[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+func minI(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+func absI(a int64) int64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func TestShortCircuitSemantics(t *testing.T) {
+	// With guard=0, && must skip its right side: b[idx] would trap out of
+	// bounds if evaluated.
+	and := compile(t, `
+void k(int* restrict b, int* restrict out, int guard, int idx, int n) {
+  int x = 0;
+  if (guard > 0 && b[idx] > 5) {
+    x = 1;
+  }
+  out[0] = x;
+}
+`)
+	inst := run(t, and, pipeline.Bindings{
+		Ints:    map[string][]int64{"b": {10}, "out": make([]int64, 1)},
+		Scalars: map[string]int64{"guard": 0, "idx": 99, "n": 1},
+	})
+	if got := inst.Arrays["out"].Ints()[0]; got != 0 {
+		t.Errorf("&&: got %d", got)
+	}
+	// With guard=1, || must skip its right side.
+	or := compile(t, `
+void k(int* restrict b, int* restrict out, int guard, int idx, int n) {
+  int y = 0;
+  if (guard > 0 || b[idx] > 5) {
+    y = 1;
+  }
+  out[0] = y;
+}
+`)
+	inst2 := run(t, or, pipeline.Bindings{
+		Ints:    map[string][]int64{"b": {10}, "out": make([]int64, 1)},
+		Scalars: map[string]int64{"guard": 1, "idx": 99, "n": 1},
+	})
+	if got := inst2.Arrays["out"].Ints()[0]; got != 1 {
+		t.Errorf("||: got %d", got)
+	}
+}
+
+func TestFloatSemantics(t *testing.T) {
+	pl := compile(t, `
+void k(float* restrict out, float a, float b, int i) {
+  out[0] = a + b;
+  out[1] = a * b;
+  out[2] = a / b;
+  out[3] = fabs(a - b);
+  out[4] = (float)i;
+  int trunc = (int)a;
+  out[5] = (float)trunc;
+}
+`)
+	inst := run(t, pl, pipeline.Bindings{
+		Floats:       map[string][]float64{"out": make([]float64, 6)},
+		Scalars:      map[string]int64{"i": -3},
+		FloatScalars: map[string]float64{"a": 2.5, "b": -1.25},
+	})
+	got := inst.Arrays["out"].Floats()
+	want := []float64{1.25, -3.125, -2.0, 3.75, -3.0, 2.0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("out[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLoopSemantics(t *testing.T) {
+	pl := compile(t, `
+void k(int* restrict out, int n) {
+  int s = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    s = s + i;
+  }
+  int w = 0;
+  int c = n;
+  while (c > 0) {
+    w = w + c;
+    c = c - 1;
+  }
+  out[0] = s;
+  out[1] = w;
+}
+`)
+	inst := run(t, pl, pipeline.Bindings{
+		Ints:    map[string][]int64{"out": make([]int64, 2)},
+		Scalars: map[string]int64{"n": 10},
+	})
+	got := inst.Arrays["out"].Ints()
+	if got[0] != 45 || got[1] != 55 {
+		t.Errorf("loops: %v", got)
+	}
+}
+
+var _ = lower.Flatten // referenced through pipeline.Instantiate

@@ -1,0 +1,166 @@
+// Package matrix provides CSR sparse matrices and deterministic synthetic
+// generators standing in for the paper's SuiteSparse inputs (Table V). The
+// generators target the statistic that drives the evaluation: average
+// non-zeros per row, with banded (FEM-like) and scattered structures.
+package matrix
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// CSR is a sparse matrix in Compressed Sparse Row format.
+type CSR struct {
+	Name string
+	N    int     // rows == cols (all Table V matrices are square)
+	Rows []int64 // length N+1
+	Cols []int64
+	Vals []float64
+}
+
+// NNZ returns the number of stored non-zeros.
+func (m *CSR) NNZ() int { return len(m.Cols) }
+
+// AvgNNZPerRow returns the average non-zeros per row.
+func (m *CSR) AvgNNZPerRow() float64 {
+	if m.N == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / float64(m.N)
+}
+
+func (m *CSR) String() string {
+	return fmt.Sprintf("%s: %dx%d, %d nnz, %.1f nnz/row", m.Name, m.N, m.N, m.NNZ(), m.AvgNNZPerRow())
+}
+
+// rowBuilder accumulates (col, val) pairs per row.
+type rowBuilder struct {
+	cols map[int64]float64
+}
+
+// Build assembles a CSR from per-row maps.
+func build(name string, n int, rows []rowBuilder) *CSR {
+	m := &CSR{Name: name, N: n, Rows: make([]int64, n+1)}
+	for i := 0; i < n; i++ {
+		keys := make([]int64, 0, len(rows[i].cols))
+		for c := range rows[i].cols {
+			keys = append(keys, c)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		for _, c := range keys {
+			m.Cols = append(m.Cols, c)
+			m.Vals = append(m.Vals, rows[i].cols[c])
+		}
+		m.Rows[i+1] = int64(len(m.Cols))
+	}
+	return m
+}
+
+func newRows(n int) []rowBuilder {
+	rows := make([]rowBuilder, n)
+	for i := range rows {
+		rows[i] = rowBuilder{cols: map[int64]float64{}}
+	}
+	return rows
+}
+
+// Banded generates an FEM-like banded matrix: each row has ~nnzPerRow
+// entries clustered within a band around the diagonal (pwtk/cant-like
+// structure: high nnz/row, strong locality).
+func Banded(name string, n, nnzPerRow, bandwidth int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	rows := newRows(n)
+	for i := 0; i < n; i++ {
+		rows[i].cols[int64(i)] = rng.NormFloat64() + 4
+		for k := 1; k < nnzPerRow; k++ {
+			off := rng.Intn(2*bandwidth+1) - bandwidth
+			j := i + off
+			if j < 0 || j >= n {
+				continue
+			}
+			rows[i].cols[int64(j)] = rng.NormFloat64()
+		}
+	}
+	return build(name, n, rows)
+}
+
+// Scattered generates a graph-like matrix with uniformly scattered entries
+// (p2p/amazon-like structure: low nnz/row, poor locality).
+func Scattered(name string, n, nnzPerRow int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	rows := newRows(n)
+	for i := 0; i < n; i++ {
+		k := 1 + rng.Intn(2*nnzPerRow)
+		for j := 0; j < k; j++ {
+			rows[i].cols[int64(rng.Intn(n))] = rng.NormFloat64()
+		}
+	}
+	return build(name, n, rows)
+}
+
+// PowerLawRows generates a matrix whose row lengths follow a heavy tail
+// (wiki/enron-like structure).
+func PowerLawRows(name string, n, avgNNZ int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	rows := newRows(n)
+	for i := 0; i < n; i++ {
+		// Pareto-ish: most rows short, few very long.
+		k := 1
+		for rng.Float64() < 0.65 && k < 40*avgNNZ {
+			k += avgNNZ
+		}
+		for j := 0; j < k; j++ {
+			rows[i].cols[int64(rng.Intn(n))] = rng.NormFloat64()
+		}
+	}
+	return build(name, n, rows)
+}
+
+// Transpose returns the transpose as a new CSR (used to build CSC views for
+// the SpMM inner-product dataflow).
+func (m *CSR) Transpose(name string) *CSR {
+	rows := newRows(m.N)
+	for i := 0; i < m.N; i++ {
+		for k := m.Rows[i]; k < m.Rows[i+1]; k++ {
+			rows[m.Cols[k]].cols[int64(i)] = m.Vals[k]
+		}
+	}
+	return build(name, m.N, rows)
+}
+
+// Input describes one named benchmark input (Table V rows).
+type Input struct {
+	Domain string
+	M      *CSR
+}
+
+// SpMMTrainingInputs mirrors the SpMM training rows of Table V.
+func SpMMTrainingInputs() []Input {
+	return []Input{
+		{Domain: "Training graph as matrix 1", M: PowerLawRows("enron", 900, 3, 31)},
+		{Domain: "Training graph as matrix 2", M: PowerLawRows("wiki-vote", 700, 4, 32)},
+	}
+}
+
+// SpMMTestInputs mirrors the SpMM test rows of Table V (sorted by nnz/row).
+func SpMMTestInputs() []Input {
+	return []Input{
+		{Domain: "File sharing", M: Scattered("p2p-gnutella", 2200, 1, 41)},
+		{Domain: "Graph as matrix", M: Scattered("amazon", 2000, 4, 42)},
+		{Domain: "Gel electrophoresis", M: Banded("cage", 1600, 8, 40, 43)},
+		{Domain: "Electromagnetics", M: Banded("2cubes", 1500, 8, 400, 44)},
+		{Domain: "Fluid dynamics", M: Banded("rma10", 900, 25, 60, 45)},
+	}
+}
+
+// TacoTestInputs mirrors the Taco benchmark rows of Table V.
+func TacoTestInputs() []Input {
+	return []Input{
+		{Domain: "Circuit simulation", M: Scattered("scircuit", 4000, 3, 51)},
+		{Domain: "Economics", M: Scattered("mac-econ", 3600, 3, 52)},
+		{Domain: "Particle physics", M: Banded("cop20k", 2400, 11, 500, 53)},
+		{Domain: "Structural", M: Banded("pwtk", 2000, 26, 100, 54)},
+		{Domain: "Cantilever", M: Banded("cant", 1200, 32, 80, 55)},
+	}
+}

@@ -1,0 +1,96 @@
+package matrix
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func wellFormed(m *CSR) bool {
+	if m.Rows[0] != 0 || m.Rows[m.N] != int64(len(m.Cols)) || len(m.Cols) != len(m.Vals) {
+		return false
+	}
+	for i := 0; i < m.N; i++ {
+		if m.Rows[i] > m.Rows[i+1] {
+			return false
+		}
+		prev := int64(-1)
+		for k := m.Rows[i]; k < m.Rows[i+1]; k++ {
+			c := m.Cols[k]
+			if c < 0 || c >= int64(m.N) || c <= prev {
+				return false
+			}
+			prev = c
+		}
+	}
+	return true
+}
+
+func TestGeneratorsWellFormed(t *testing.T) {
+	ms := []*CSR{
+		Banded("b", 100, 8, 10, 1),
+		Scattered("s", 120, 4, 2),
+		PowerLawRows("p", 150, 3, 3),
+	}
+	for _, m := range ms {
+		if !wellFormed(m) {
+			t.Errorf("%s malformed", m.Name)
+		}
+		if m.NNZ() == 0 {
+			t.Errorf("%s empty", m.Name)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed uint8) bool {
+		m := Scattered("m", 40, 3, int64(seed))
+		tt := m.Transpose("t").Transpose("tt")
+		if m.NNZ() != tt.NNZ() {
+			return false
+		}
+		for i := range m.Cols {
+			if m.Cols[i] != tt.Cols[i] || m.Vals[i] != tt.Vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransposeEntryMapping(t *testing.T) {
+	m := Banded("b", 30, 4, 5, 9)
+	tr := m.Transpose("t")
+	if !wellFormed(tr) {
+		t.Fatal("transpose malformed")
+	}
+	// Every (i, j, v) in m must appear as (j, i, v) in tr.
+	lookup := func(mm *CSR, i, j int64) (float64, bool) {
+		for k := mm.Rows[i]; k < mm.Rows[i+1]; k++ {
+			if mm.Cols[k] == j {
+				return mm.Vals[k], true
+			}
+		}
+		return 0, false
+	}
+	for i := 0; i < m.N; i++ {
+		for k := m.Rows[i]; k < m.Rows[i+1]; k++ {
+			v, ok := lookup(tr, m.Cols[k], int64(i))
+			if !ok || v != m.Vals[k] {
+				t.Fatalf("entry (%d,%d) missing or wrong in transpose", i, m.Cols[k])
+			}
+		}
+	}
+}
+
+func TestInputSuites(t *testing.T) {
+	suite := append(SpMMTrainingInputs(), SpMMTestInputs()...)
+	suite = append(suite, TacoTestInputs()...)
+	for _, in := range suite {
+		if !wellFormed(in.M) {
+			t.Errorf("%s malformed", in.M.Name)
+		}
+	}
+}

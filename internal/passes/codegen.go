@@ -1,0 +1,656 @@
+package passes
+
+import (
+	"fmt"
+	"sort"
+
+	"phloem/internal/ir"
+)
+
+// codegen emits per-stage IR from the per-phase plan and its boundaries.
+type codegen struct {
+	pl *plan
+	bs []*boundary
+	// feedback queue ids parallel to pl.feedback.
+	fbq []int
+	// fbBySrc/fbByDst index feedback entries by stage.
+	useCtrl bool
+	labelN  int
+}
+
+func (cg *codegen) label(prefix string, s int) string {
+	cg.labelN++
+	return fmt.Sprintf(".%s.p%d.s%d.%d", prefix, cg.pl.phaseIdx, s, cg.labelN)
+}
+
+// genStage produces the phase-body statements for stage s.
+func (cg *codegen) genStage(s int) ([]ir.Stmt, error) {
+	pl := cg.pl
+	var out []ir.Stmt
+	var inB, outB *boundary
+	if s > 0 {
+		inB = cg.bs[s]
+	}
+	if s+1 < pl.n {
+		outB = cg.bs[s+1]
+	}
+
+	// Replicated pure preamble, then stage-0 pinned preamble.
+	out = append(out, pl.preamblePure...)
+	if s == 0 {
+		out = append(out, pl.preambleS0...)
+	}
+	// Once values: receive then forward.
+	onceIn := -1
+	onceOut := -1
+	if inB != nil {
+		onceIn = cg.onceQueue(inB)
+		for _, v := range inB.once {
+			out = append(out, &ir.Assign{Dst: v, Src: &ir.RvalDeq{Q: onceIn}})
+		}
+	}
+	if outB != nil {
+		onceOut = cg.onceQueue(outB)
+		for _, v := range outB.once {
+			out = append(out, &ir.Enq{Q: onceOut, Val: ir.V(v)})
+		}
+	}
+
+	if inB == nil {
+		// Pure producer: original loop structure.
+		body, err := cg.genBody([]ir.Stmt{pl.nest}, 0, s, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, body...)
+		if outB != nil && cg.useCtrl {
+			out = append(out, &ir.EnqCtrl{Q: outB.ctrlQ, Code: codeEnd()})
+		}
+		return out, nil
+	}
+
+	if cg.useCtrl {
+		body, err := cg.genCtrlConsumer(s, inB, outB)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, body...)
+	} else {
+		// Counter inits for depth-1 spanning counters.
+		out = append(out, cg.counterInits(inB, 1)...)
+		body, err := cg.genFlagMirror(s, inB, outB, 1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, body...)
+		if outB != nil {
+			// Terminate the outermost level downstream.
+			out = append(out, &ir.Enq{Q: outB.frameQ, Val: ir.C(0)})
+		}
+	}
+	return out, nil
+}
+
+// onceQueue picks the queue carrying once-values for a boundary.
+func (cg *codegen) onceQueue(b *boundary) int {
+	if !cg.useCtrl {
+		return b.frameQ
+	}
+	return b.sideQ
+}
+
+// counterInits emits `v = init` for induction recipes whose loop is at the
+// given depth (run at the start of each enclosing frame).
+func (cg *codegen) counterInits(b *boundary, depth int) []ir.Stmt {
+	var out []ir.Stmt
+	vars := cg.sortedRecomputed(b)
+	for _, v := range vars {
+		r := b.recomputed[v]
+		if r.kind == recInduction && r.depth == depth {
+			out = append(out, &ir.Assign{Dst: v, Src: &ir.RvalUn{Op: ir.OpMov, A: r.init}})
+		}
+	}
+	return out
+}
+
+// counterIncrements emits `v = v + 1` for induction counters at the depth.
+func (cg *codegen) counterIncrements(b *boundary, depth int) []ir.Stmt {
+	var out []ir.Stmt
+	for _, v := range cg.sortedRecomputed(b) {
+		r := b.recomputed[v]
+		if r.kind == recInduction && r.depth == depth {
+			out = append(out, &ir.Assign{Dst: v,
+				Src: &ir.RvalBin{Op: ir.OpAdd, A: ir.V(v), B: ir.C(1)}})
+		}
+	}
+	return out
+}
+
+// recomputeInserts emits const/affine rebuilds tied to the given level.
+func (cg *codegen) recomputeInserts(b *boundary, level int) []ir.Stmt {
+	var out []ir.Stmt
+	for _, v := range cg.sortedRecomputed(b) {
+		r := b.recomputed[v]
+		switch r.kind {
+		case recConst:
+			if r.depth == level {
+				out = append(out, &ir.Assign{Dst: v,
+					Src: &ir.RvalUn{Op: ir.OpMov, Float: r.isFloat, A: ir.Operand{IsConst: true, Imm: r.imm}}})
+			}
+		case recAffine:
+			if r.depth == level {
+				out = append(out, &ir.Assign{Dst: v,
+					Src: &ir.RvalBin{Op: ir.OpAdd, A: ir.V(r.base), B: ir.C(r.off)}})
+			}
+		}
+	}
+	return out
+}
+
+func (cg *codegen) sortedRecomputed(b *boundary) []ir.Var {
+	vars := make([]ir.Var, 0, len(b.recomputed))
+	for v := range b.recomputed {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	return vars
+}
+
+// feedback helpers -----------------------------------------------------------
+
+// fbDeqsAt returns `v = deq(fbq)` statements for feedback values targeting
+// stage s carried at the given depth.
+func (cg *codegen) fbDeqsAt(s, depth int) []ir.Stmt {
+	var out []ir.Stmt
+	for i, fb := range cg.pl.feedback {
+		if fb.to == s && fb.depth == depth {
+			out = append(out, &ir.Assign{Dst: fb.v, Src: &ir.RvalDeq{Q: cg.fbq[i]}})
+		}
+	}
+	return out
+}
+
+// fbEnqsAt returns the feedback enqueues a source stage performs at the end
+// of each frame at the carrying depth.
+func (cg *codegen) fbEnqsAt(s, depth int) []ir.Stmt {
+	var out []ir.Stmt
+	for i, fb := range cg.pl.feedback {
+		if fb.from == s && fb.depth == depth {
+			out = append(out, &ir.Enq{Q: cg.fbq[i], Val: ir.V(fb.v)})
+		}
+	}
+	return out
+}
+
+// producer-side structural generation ----------------------------------------
+
+// genBody emits stage-s code for a statement list at the given depth.
+// skip marks loops that must not be regenerated (the consumer's spanning
+// descend when generating tails).
+func (cg *codegen) genBody(list []ir.Stmt, depth, s int, skip map[*ir.Loop]bool) ([]ir.Stmt, error) {
+	pl := cg.pl
+	var outB *boundary
+	if s+1 < pl.n {
+		outB = cg.bs[s+1]
+	}
+	var out []ir.Stmt
+	crossed := false
+
+	// emitCrossing emits the boundary-(s+1) traffic for this body's depth.
+	// Frame starts (d < outB.m) fire only at the spanning descend loop;
+	// item sends fire at the first downstream statement.
+	mIn := 0
+	if s > 0 && cg.bs[s] != nil {
+		mIn = cg.bs[s].m
+	}
+	emitCrossing := func(d int, atLoop bool) {
+		if outB == nil || crossed || d > outB.m || d < 1 {
+			return
+		}
+		if d < outB.m {
+			// Frame starts for levels above the stage's own item level are
+			// forwarded by the mirror/dispatch structure; frame starts at
+			// or below it (values computed by this stage per item) are
+			// emitted positionally, after the defining statements.
+			positional := atLoop && d >= mIn
+			if !positional {
+				return
+			}
+		}
+		crossed = true
+		if d == outB.m {
+			out = append(out, cg.itemSendCode(outB)...)
+			return
+		}
+		// Frame start for level d.
+		if cg.useCtrl {
+			if outB.startNeeded[d] {
+				out = append(out, &ir.EnqCtrl{Q: outB.ctrlQ, Code: codeFrameStart(d)})
+				for _, v := range outB.side[d] {
+					out = append(out, &ir.Enq{Q: outB.sideQ, Val: ir.V(v)})
+				}
+			}
+		} else {
+			out = append(out, &ir.Enq{Q: outB.frameQ, Val: ir.C(1)})
+			for _, v := range outB.side[d] {
+				out = append(out, &ir.Enq{Q: outB.frameQ, Val: ir.V(v)})
+			}
+		}
+	}
+
+	downstreamIn := func(st ir.Stmt) bool {
+		has := false
+		var walkList func(l []ir.Stmt)
+		walkList = func(l []ir.Stmt) {
+			for _, x := range l {
+				if has {
+					return
+				}
+				if pl.stageOfStmt(x) > s {
+					has = true
+					return
+				}
+				switch x := x.(type) {
+				case *ir.Loop:
+					walkList(x.Body)
+				case *ir.If:
+					walkList(x.Then)
+					walkList(x.Else)
+				}
+			}
+		}
+		if lp, ok := st.(*ir.Loop); ok {
+			walkList(lp.Body)
+		}
+		return has
+	}
+
+	for _, st := range list {
+		stage := pl.stageOfStmt(st)
+		if lp, ok := st.(*ir.Loop); ok {
+			if skip[lp] {
+				continue
+			}
+			if outB != nil && cg.onChain(outB, lp) && downstreamIn(lp) {
+				// The descend loop at this depth: frame traffic for the
+				// enclosing level comes first.
+				emitCrossing(depth, true)
+			}
+			if pl.loopOwner[lp] == s {
+				code, err := cg.genOwnedLoop(lp, depth+1, s, skip)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, code...)
+			} else if pl.loopOwner[lp] > s {
+				// Entirely downstream: its contents belong to later stages;
+				// crossing (if any) already emitted.
+				continue
+			} else {
+				// owner < s: upstream loop; it can only appear here when
+				// generating tails of an enclosing structure with the
+				// spanning descend not skipped properly.
+				return nil, fmt.Errorf("passes: stage %d encountered upstream loop (owner %d) during generation", s, pl.loopOwner[lp])
+			}
+			continue
+		}
+		if stage > s {
+			emitCrossing(depth, false)
+			continue
+		}
+		if stage < s {
+			continue
+		}
+		// Own statement.
+		switch v := st.(type) {
+		case *ir.Assign:
+			if def, hoisted := pl.hoisted[v.Dst]; hoisted && def == v {
+				// Emitted with the crossing sends.
+				continue
+			}
+			if cg.useCtrl {
+				if raIdx, off := cg.loadReplOf(s, v); raIdx >= 0 {
+					_ = off
+					b := cg.bs[s]
+					if b != nil && b.probeStmt == v {
+						// hoisted to the probe; skip here
+						continue
+					}
+					out = append(out, &ir.Assign{Dst: v.Dst, Src: &ir.RvalDeq{Q: cg.bs[s].ras[raIdx].outQ}})
+					continue
+				}
+			}
+			out = append(out, st)
+		default:
+			out = append(out, st)
+		}
+	}
+	// Trailing crossing: if the body's downstream content is purely trailing
+	// statements, crossing was already emitted above.
+	return out, nil
+}
+
+// loadReplOf reports whether stage s replaces this load with an RA dequeue.
+func (cg *codegen) loadReplOf(s int, a *ir.Assign) (int, int64) {
+	if s <= 0 || cg.bs[s] == nil {
+		return -1, 0
+	}
+	if idx, ok := cg.bs[s].loadRepl[a]; ok {
+		return idx, 0
+	}
+	return -1, 0
+}
+
+// onChain reports whether lp is on b's spanning chain.
+func (cg *codegen) onChain(b *boundary, lp *ir.Loop) bool {
+	for _, c := range b.chain {
+		if c == lp {
+			return true
+		}
+	}
+	return false
+}
+
+// genOwnedLoop generates a loop the stage owns, including downstream frame
+// markers after it and SCAN RA replacement.
+func (cg *codegen) genOwnedLoop(lp *ir.Loop, depth, s int, skip map[*ir.Loop]bool) ([]ir.Stmt, error) {
+	pl := cg.pl
+	var outB *boundary
+	if s+1 < pl.n {
+		outB = cg.bs[s+1]
+	}
+	var out []ir.Stmt
+
+	if outB != nil {
+		if feeds, ok := outB.scanLoops[lp]; ok {
+			// The loop dissolves into SCAN RA feeds.
+			for _, f := range feeds {
+				ra := outB.ras[f.raIdx]
+				out = append(out, &ir.Enq{Q: ra.inQ, Val: f.init})
+				out = append(out, &ir.Enq{Q: ra.inQ, Val: f.bound})
+			}
+			return out, nil
+		}
+	}
+
+	body, err := cg.genBody(lp.Body, depth, s, skip)
+	if err != nil {
+		return nil, err
+	}
+	// Feedback traffic at the end of the carrying loop's body.
+	body = append(body, cg.fbEnqsAt(s, depth)...)
+	body = append(body, cg.fbDeqsAt(s, depth)...)
+	// Downstream counter frame signals do not apply to owned loops; only
+	// the loop-end marker after it.
+	out = append(out, &ir.Loop{ID: lp.ID, Pre: lp.Pre, Cond: lp.Cond, Body: body, Counted: lp.Counted})
+	if outB != nil && depth <= outB.m {
+		if cg.useCtrl {
+			// Depth 1 is terminated by the END marker in genStage.
+			if depth >= 2 && outB.endNeeded[depth] {
+				out = append(out, &ir.EnqCtrl{Q: outB.ctrlQ, Code: codeLoopEnd(depth)})
+			}
+		} else {
+			out = append(out, &ir.Enq{Q: outB.frameQ, Val: ir.C(0)})
+		}
+	}
+	return out, nil
+}
+
+// itemSendCode emits the producer's per-item traffic for a boundary.
+func (cg *codegen) itemSendCode(b *boundary) []ir.Stmt {
+	pl := cg.pl
+	var out []ir.Stmt
+	// Hoisted index temporaries are computed here, at the crossing.
+	for _, v := range b.itemVars {
+		if def, ok := pl.hoisted[v]; ok {
+			out = append(out, def)
+		}
+	}
+	// Prefetches for consumer-pinned read-write loads (Sec. IV-A).
+	for _, pf := range b.prefetch {
+		out = append(out, &ir.Prefetch{Slot: pf.slot, Idx: ir.V(pf.val)})
+	}
+	if cg.useCtrl {
+		for _, v := range b.itemVars {
+			out = append(out, &ir.Enq{Q: b.frameQ, Val: ir.V(v)})
+		}
+		if len(b.itemVars) == 0 && b.primaryRA() == nil {
+			// Dummy probe token keeps item multiplicity observable.
+			out = append(out, &ir.Enq{Q: b.frameQ, Val: ir.C(0)})
+		}
+		for _, rs := range b.raSends {
+			ra := b.ras[rs.raIdx]
+			if rs.off == 0 {
+				out = append(out, &ir.Enq{Q: ra.inQ, Val: ir.V(rs.val)})
+			} else {
+				t := pl.p.NewVar(fmt.Sprintf("raidx%d", len(pl.p.Vars)), ir.KInt)
+				out = append(out, &ir.Assign{Dst: t,
+					Src: &ir.RvalBin{Op: ir.OpAdd, A: ir.V(rs.val), B: ir.C(rs.off)}})
+				out = append(out, &ir.Enq{Q: ra.inQ, Val: ir.V(t)})
+			}
+		}
+	} else {
+		out = append(out, &ir.Enq{Q: b.frameQ, Val: ir.C(1)})
+		for _, v := range b.itemVars {
+			out = append(out, &ir.Enq{Q: b.frameQ, Val: ir.V(v)})
+		}
+	}
+	return out
+}
+
+// flag-mode consumer ----------------------------------------------------------
+
+// genFlagMirror builds the nested while(deq(frameQ)) structure for levels
+// lvl..m, with the item region inside the innermost mirror.
+func (cg *codegen) genFlagMirror(s int, inB, outB *boundary, lvl int) ([]ir.Stmt, error) {
+	pl := cg.pl
+	flag := pl.p.NewVar(fmt.Sprintf("flag%d.s%d", lvl, s), ir.KInt)
+	var body []ir.Stmt
+
+	// Per-frame receives.
+	if lvl == inB.m {
+		for _, v := range inB.itemVars {
+			body = append(body, &ir.Assign{Dst: v, Src: &ir.RvalDeq{Q: inB.frameQ}})
+		}
+	} else {
+		for _, v := range inB.side[lvl] {
+			body = append(body, &ir.Assign{Dst: v, Src: &ir.RvalDeq{Q: inB.frameQ}})
+		}
+	}
+	body = append(body, cg.recomputeInserts(inB, lvl)...)
+
+	// Downstream frame start for this level: only levels the stage itself
+	// receives as frames are forwarded here; its own item level (lvl ==
+	// inB.m) and deeper are emitted positionally by genBody, after the
+	// values are computed.
+	if outB != nil && lvl < outB.m && lvl < inB.m {
+		body = append(body, &ir.Enq{Q: outB.frameQ, Val: ir.C(1)})
+		for _, v := range outB.side[lvl] {
+			body = append(body, &ir.Enq{Q: outB.frameQ, Val: ir.V(v)})
+		}
+	}
+
+	if lvl == inB.m {
+		// Item region.
+		region, err := cg.genBody(inB.chain[inB.m-1].Body, inB.m, s, nil)
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, region...)
+		body = append(body, cg.counterIncrements(inB, inB.m)...)
+		body = append(body, cg.fbEnqsAt(s, inB.m)...)
+		body = append(body, cg.fbDeqsAt(s, inB.m)...)
+	} else {
+		body = append(body, cg.counterInits(inB, lvl+1)...)
+		inner, err := cg.genFlagMirror(s, inB, outB, lvl+1)
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, inner...)
+		if outB != nil && lvl+1 <= outB.m {
+			body = append(body, &ir.Enq{Q: outB.frameQ, Val: ir.C(0)})
+		}
+		// Tails at this depth.
+		tails, err := cg.genTails(s, inB, lvl)
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, tails...)
+		body = append(body, cg.counterIncrements(inB, lvl)...)
+		body = append(body, cg.fbEnqsAt(s, lvl)...)
+		body = append(body, cg.fbDeqsAt(s, lvl)...)
+	}
+
+	loop := &ir.Loop{
+		ID:   -1,
+		Pre:  []ir.Stmt{&ir.Assign{Dst: flag, Src: &ir.RvalDeq{Q: inB.frameQ}}},
+		Cond: ir.V(flag),
+		Body: body,
+	}
+	return []ir.Stmt{loop}, nil
+}
+
+// genTails generates the stage's statements at the given depth after the
+// spanning descend (the suffix of the chain loop's body).
+func (cg *codegen) genTails(s int, inB *boundary, depth int) ([]ir.Stmt, error) {
+	if depth < 1 || depth > len(inB.chain) {
+		return nil, nil
+	}
+	body := inB.chain[depth-1].Body
+	skip := map[*ir.Loop]bool{}
+	if depth < len(inB.chain) {
+		skip[inB.chain[depth]] = true
+	}
+	return cg.genBody(body, depth, s, skip)
+}
+
+// ctrl-mode consumer ----------------------------------------------------------
+
+func (cg *codegen) genCtrlConsumer(s int, inB, outB *boundary) ([]ir.Stmt, error) {
+	pl := cg.pl
+	var out []ir.Stmt
+	probeL := cg.label("probe", s)
+	dispatchL := cg.label("dispatch", s)
+	doneL := cg.label("done", s)
+
+	if pl.opt.Handlers {
+		out = append(out, &ir.SetHandler{Q: inB.probeQ, Label: dispatchL})
+	}
+	// Counters for depth-1 loops initialize at stage start.
+	out = append(out, cg.counterInits(inB, 1)...)
+	out = append(out, cg.recomputeInserts(inB, 0)...)
+
+	// Probe + item path.
+	var probeVar ir.Var
+	if inB.probeStmt != nil {
+		probeVar = inB.probeStmt.Dst
+	} else if len(inB.itemVars) > 0 {
+		probeVar = inB.itemVars[0]
+	} else {
+		probeVar = pl.p.NewVar(fmt.Sprintf("probe.s%d", s), ir.KInt)
+	}
+	out = append(out, &ir.Label{Name: probeL})
+	out = append(out, &ir.Assign{Dst: probeVar, Src: &ir.RvalDeq{Q: inB.probeQ}})
+	if !pl.opt.Handlers {
+		isc := pl.p.NewVar(fmt.Sprintf("isc.s%d", s), ir.KInt)
+		out = append(out, &ir.Assign{Dst: isc, Src: &ir.RvalUn{Op: ir.OpIsCtrl, A: ir.V(probeVar)}})
+		out = append(out, &ir.If{Cond: ir.V(isc), Then: []ir.Stmt{&ir.Goto{Name: dispatchL}}})
+	}
+	// Remaining in-band item values.
+	start := 0
+	if inB.probeStmt == nil && len(inB.itemVars) > 0 {
+		start = 1
+	}
+	for _, v := range inB.itemVars[start:] {
+		out = append(out, &ir.Assign{Dst: v, Src: &ir.RvalDeq{Q: inB.probeQ}})
+	}
+	out = append(out, cg.recomputeInserts(inB, inB.m)...)
+	region, err := cg.genBody(inB.chain[inB.m-1].Body, inB.m, s, nil)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, region...)
+	out = append(out, cg.counterIncrements(inB, inB.m)...)
+	out = append(out, cg.fbEnqsAt(s, inB.m)...)
+	out = append(out, cg.fbDeqsAt(s, inB.m)...)
+	out = append(out, &ir.Goto{Name: probeL})
+
+	// Dispatch block.
+	out = append(out, &ir.Label{Name: dispatchL})
+	code := pl.p.NewVar(fmt.Sprintf("ctrl.s%d", s), ir.KInt)
+	if pl.opt.Handlers {
+		out = append(out, &ir.Assign{Dst: code, Src: &ir.RvalHandlerVal{}})
+	} else {
+		out = append(out, &ir.Assign{Dst: code, Src: &ir.RvalUn{Op: ir.OpCtrlCode, A: ir.V(probeVar)}})
+	}
+	emitCase := func(imm int64, body []ir.Stmt) {
+		t := pl.p.NewVar("", ir.KInt)
+		out = append(out, &ir.Assign{Dst: t, Src: &ir.RvalBin{Op: ir.OpEQ, A: ir.V(code), B: ir.C(imm)}})
+		out = append(out, &ir.If{Cond: ir.V(t), Then: body})
+	}
+
+	// Frame starts.
+	var lvls []int
+	for lvl := range inB.startNeeded {
+		lvls = append(lvls, lvl)
+	}
+	sort.Ints(lvls)
+	for _, lvl := range lvls {
+		var body []ir.Stmt
+		for _, v := range inB.side[lvl] {
+			body = append(body, &ir.Assign{Dst: v, Src: &ir.RvalDeq{Q: inB.sideQ}})
+		}
+		body = append(body, cg.recomputeInserts(inB, lvl)...)
+		body = append(body, cg.counterInits(inB, lvl+1)...)
+		if outB != nil && outB.startNeeded[lvl] {
+			body = append(body, &ir.EnqCtrl{Q: outB.ctrlQ, Code: codeFrameStart(lvl)})
+			for _, v := range outB.side[lvl] {
+				body = append(body, &ir.Enq{Q: outB.sideQ, Val: ir.V(v)})
+			}
+		}
+		body = append(body, &ir.Goto{Name: probeL})
+		emitCase(codeFrameStart(lvl), body)
+	}
+
+	// Loop ends, innermost first (most frequent).
+	var ends []int
+	for d := range inB.endNeeded {
+		ends = append(ends, d)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(ends)))
+	for _, d := range ends {
+		var body []ir.Stmt
+		tails, err := cg.genTails(s, inB, d-1)
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, tails...)
+		body = append(body, cg.counterIncrements(inB, d-1)...)
+		body = append(body, cg.fbEnqsAt(s, d-1)...)
+		body = append(body, cg.fbDeqsAt(s, d-1)...)
+		if outB != nil && d <= outB.m && outB.endNeeded[d] {
+			body = append(body, &ir.EnqCtrl{Q: outB.ctrlQ, Code: codeLoopEnd(d)})
+		}
+		body = append(body, &ir.Goto{Name: probeL})
+		emitCase(codeLoopEnd(d), body)
+	}
+
+	// End of stream.
+	{
+		var body []ir.Stmt
+		tails, err := cg.genTails(s, inB, 0)
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, tails...)
+		if outB != nil {
+			body = append(body, &ir.EnqCtrl{Q: outB.ctrlQ, Code: codeEnd()})
+		}
+		body = append(body, &ir.Goto{Name: doneL})
+		emitCase(codeEnd(), body)
+	}
+	// Unknown code: fall into done (protocol bug guard).
+	out = append(out, &ir.Goto{Name: doneL})
+	out = append(out, &ir.Label{Name: doneL})
+	return out, nil
+}

@@ -1,0 +1,217 @@
+package passes
+
+import (
+	"phloem/internal/ir"
+	"phloem/internal/pipeline"
+)
+
+// elideGlueStages removes stages whose generated code is pure token
+// forwarding: dequeue from one queue, re-enqueue the same values (and the
+// same control markers) to another. Such stages arise when reference
+// accelerators absorb all of a stage's loads — e.g., BFS's "enumerate
+// neighbors" stage, whose nodes[v]/nodes[v+1] results feed straight into the
+// edges SCAN accelerator. Eliding the stage chains the RAs directly
+// (Sec. III, "Chained reference accelerators").
+//
+// Because control codes are global (loop depth based), forwarding is the
+// identity and rewiring is a queue substitution.
+func elideGlueStages(pipe *pipeline.Pipeline) {
+	for {
+		removed := false
+		for i, st := range pipe.Stages {
+			inQ, outQ, ok := matchGlue(st.Body)
+			if !ok {
+				continue
+			}
+			// Rewire: everything that consumed outQ now consumes inQ.
+			for _, other := range pipe.Stages {
+				if other != st {
+					substQueue(other.Body, outQ, inQ)
+				}
+			}
+			for j := range pipe.RAs {
+				if pipe.RAs[j].InQ == outQ {
+					pipe.RAs[j].InQ = inQ
+				}
+				if pipe.RAs[j].OutQ == outQ {
+					pipe.RAs[j].OutQ = inQ
+				}
+			}
+			pipe.Stages = append(pipe.Stages[:i], pipe.Stages[i+1:]...)
+			removed = true
+			break
+		}
+		if !removed {
+			return
+		}
+	}
+}
+
+// matchGlue recognizes the generated forwarding skeleton:
+//
+//	[set_handler inQ -> dispatch]
+//	probe: v1 = deq(inQ); [isctrl check -> dispatch]
+//	       v2 = deq(inQ) ... vk = deq(inQ)
+//	       enq(outQ, v1) ... enq(outQ, vk)
+//	       goto probe
+//	dispatch: code = ...; per-code: enq_ctrl(outQ, code); goto probe/done
+//	done:
+//
+// All data moves must be 1:1 and order-preserving between exactly one input
+// and one output queue; any computation, memory access, or side traffic
+// disqualifies the stage.
+func matchGlue(body []ir.Stmt) (inQ, outQ int, ok bool) {
+	inQ, outQ = -1, -1
+	var deqVars []ir.Var
+	enqIdx := 0
+	phase := 0 // 0: deqs, 1: enqs (within the probe block)
+
+	sawDeq := func(q int, dst ir.Var) bool {
+		if inQ == -1 {
+			inQ = q
+		}
+		if q != inQ || phase != 0 {
+			return false
+		}
+		deqVars = append(deqVars, dst)
+		return true
+	}
+	sawEnq := func(q int, v ir.Operand) bool {
+		if v.IsConst {
+			return false
+		}
+		if outQ == -1 {
+			outQ = q
+		}
+		if q != outQ || enqIdx >= len(deqVars) || deqVars[enqIdx] != v.Var {
+			return false
+		}
+		phase = 1
+		enqIdx++
+		return true
+	}
+
+	for _, s := range body {
+		switch s := s.(type) {
+		case *ir.Label:
+			// A new block: reset the probe-pattern state.
+			if enqIdx != len(deqVars) && len(deqVars) > 0 && phase == 1 {
+				return 0, 0, false
+			}
+			deqVars = deqVars[:0]
+			enqIdx = 0
+			phase = 0
+		case *ir.Goto:
+			if len(deqVars) > 0 && enqIdx != len(deqVars) {
+				return 0, 0, false // dequeued values not all forwarded
+			}
+			deqVars = deqVars[:0]
+			enqIdx = 0
+			phase = 0
+		case *ir.SetHandler:
+			if inQ == -1 {
+				inQ = s.Q
+			}
+			if s.Q != inQ {
+				return 0, 0, false
+			}
+		case *ir.Assign:
+			switch r := s.Src.(type) {
+			case *ir.RvalDeq:
+				if !sawDeq(r.Q, s.Dst) {
+					return 0, 0, false
+				}
+			case *ir.RvalUn:
+				// is_ctrl probes and ctrlcode reads are part of the skeleton.
+				if r.Op != ir.OpIsCtrl && r.Op != ir.OpCtrlCode {
+					return 0, 0, false
+				}
+			case *ir.RvalHandlerVal:
+				// part of the dispatch skeleton
+			case *ir.RvalBin:
+				// dispatch case comparisons only (cmp against constants)
+				if !r.Op.IsCmp() {
+					return 0, 0, false
+				}
+			default:
+				return 0, 0, false
+			}
+		case *ir.Enq:
+			if !sawEnq(s.Q, s.Val) {
+				return 0, 0, false
+			}
+		case *ir.EnqCtrl:
+			if outQ == -1 {
+				outQ = s.Q
+			}
+			if s.Q != outQ {
+				return 0, 0, false
+			}
+		case *ir.If:
+			// Only skeleton Ifs: bodies of gotos/forwards.
+			if !glueIfBody(s.Then, &outQ) || len(s.Else) != 0 {
+				return 0, 0, false
+			}
+		case *ir.Halt:
+		default:
+			return 0, 0, false
+		}
+	}
+	return inQ, outQ, ok2(inQ, outQ, len(deqVars) == 0 || enqIdx == len(deqVars))
+}
+
+func ok2(inQ, outQ int, balanced bool) bool {
+	return inQ >= 0 && outQ >= 0 && inQ != outQ && balanced
+}
+
+// glueIfBody accepts dispatch-case bodies: optional marker forward + goto.
+func glueIfBody(body []ir.Stmt, outQ *int) bool {
+	for _, s := range body {
+		switch s := s.(type) {
+		case *ir.EnqCtrl:
+			if *outQ == -1 {
+				*outQ = s.Q
+			}
+			if s.Q != *outQ {
+				return false
+			}
+		case *ir.Goto:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// substQueue rewrites queue references from old to new in a statement tree.
+func substQueue(body []ir.Stmt, old, new int) {
+	fix := func(q *int) {
+		if *q == old {
+			*q = new
+		}
+	}
+	var walk func(list []ir.Stmt)
+	walk = func(list []ir.Stmt) {
+		for _, s := range list {
+			switch s := s.(type) {
+			case *ir.Assign:
+				if d, ok := s.Src.(*ir.RvalDeq); ok {
+					fix(&d.Q)
+				}
+			case *ir.Enq:
+				fix(&s.Q)
+			case *ir.EnqCtrl:
+				fix(&s.Q)
+			case *ir.SetHandler:
+				fix(&s.Q)
+			case *ir.If:
+				walk(s.Then)
+				walk(s.Else)
+			case *ir.Loop:
+				walk(s.Pre)
+				walk(s.Body)
+			}
+		}
+	}
+	walk(body)
+}

@@ -1,0 +1,276 @@
+package passes
+
+import (
+	"fmt"
+	"sort"
+
+	"phloem/internal/analysis"
+	"phloem/internal/ir"
+)
+
+// defInfo records one definition site of a variable.
+type defInfo struct {
+	stage int
+	depth int
+	loop  *ir.Loop // enclosing loop (nil at depth 0)
+	order int      // traversal order
+}
+
+// computeLiveness fills defStage/defDepth/useStage, bundles, feedback, and
+// once-values.
+func (pl *plan) computeLiveness(preDefs map[ir.Var]bool) error {
+	pl.feedback = nil // recomputed from scratch (liveness may run twice)
+	defs := map[ir.Var][]defInfo{}
+	pl.useStage = map[ir.Var]map[int]bool{}
+	useDepthMin := map[ir.Var]int{}
+	useOrder := map[ir.Var]int{}
+
+	order := 0
+	var chain []*ir.Loop
+
+	use := func(o ir.Operand, stage int) {
+		if o.IsConst {
+			return
+		}
+		if pl.useStage[o.Var] == nil {
+			pl.useStage[o.Var] = map[int]bool{}
+		}
+		pl.useStage[o.Var][stage] = true
+		if d, ok := useDepthMin[o.Var]; !ok || len(chain) < d {
+			useDepthMin[o.Var] = len(chain)
+		}
+		if _, ok := useOrder[o.Var]; !ok {
+			useOrder[o.Var] = order
+		}
+	}
+	def := func(v ir.Var, stage int) {
+		var lp *ir.Loop
+		if len(chain) > 0 {
+			lp = chain[len(chain)-1]
+		}
+		defs[v] = append(defs[v], defInfo{stage: stage, depth: len(chain), loop: lp, order: order})
+	}
+	useRval := func(r ir.Rval, stage int) {
+		switch r := r.(type) {
+		case *ir.RvalBin:
+			use(r.A, stage)
+			use(r.B, stage)
+		case *ir.RvalUn:
+			use(r.A, stage)
+		case *ir.RvalLoad:
+			use(r.Idx, stage)
+		}
+	}
+
+	var walk func(list []ir.Stmt) error
+	walk = func(list []ir.Stmt) error {
+		for _, s := range list {
+			order++
+			st := pl.stageOfStmt(s)
+			switch s := s.(type) {
+			case *ir.Assign:
+				useRval(s.Src, st)
+				def(s.Dst, st)
+			case *ir.Store:
+				use(s.Idx, st)
+				use(s.Val, st)
+			case *ir.If:
+				use(s.Cond, st)
+				if err := walk(s.Then); err != nil {
+					return err
+				}
+				if err := walk(s.Else); err != nil {
+					return err
+				}
+			case *ir.Loop:
+				owner := pl.loopOwner[s]
+				var preWalk func(list []ir.Stmt) error
+				preWalk = func(list []ir.Stmt) error {
+					for _, ps := range list {
+						order++
+						switch ps := ps.(type) {
+						case *ir.Assign:
+							useRval(ps.Src, owner)
+							def(ps.Dst, owner)
+						case *ir.If:
+							use(ps.Cond, owner)
+							if err := preWalk(ps.Then); err != nil {
+								return err
+							}
+							if err := preWalk(ps.Else); err != nil {
+								return err
+							}
+						default:
+							return fmt.Errorf("passes: unsupported statement in loop condition block")
+						}
+					}
+					return nil
+				}
+				// Condition blocks evaluate once per iteration: account their
+				// variables at body depth.
+				chain = append(chain, s)
+				if err := preWalk(s.Pre); err != nil {
+					return err
+				}
+				use(s.Cond, owner)
+				if err := walk(s.Body); err != nil {
+					return err
+				}
+				chain = chain[:len(chain)-1]
+			case *ir.Swap, *ir.Barrier, *ir.DecoupleMark:
+				// no vars
+			case *ir.Enq:
+				use(s.Val, st)
+			default:
+				return fmt.Errorf("passes: unexpected statement %T before decoupling", s)
+			}
+		}
+		return nil
+	}
+	if err := walk([]ir.Stmt{pl.nest}); err != nil {
+		return err
+	}
+
+	pl.defStage = map[ir.Var]int{}
+	pl.defDepth = map[ir.Var]int{}
+	pl.bundles = make([][][]ir.Var, pl.n)
+	pl.onceVals = make([][]ir.Var, pl.n)
+	for k := 1; k < pl.n; k++ {
+		pl.bundles[k] = make([][]ir.Var, len(pl.pointChain[k])+1)
+	}
+
+	// Classify each variable.
+	vars := make([]ir.Var, 0, len(pl.useStage))
+	for v := range pl.useStage {
+		vars = append(vars, v)
+	}
+	for v := range defs {
+		if pl.useStage[v] == nil {
+			vars = append(vars, v)
+		}
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+
+	for _, v := range vars {
+		ds := defs[v]
+		if len(ds) == 0 {
+			// Defined only in the preamble or a parameter: preamble-pure
+			// vars and params are available everywhere; stage-0 preamble
+			// vars become once-values.
+			if preDefs[v] {
+				for k := 1; k < pl.n; k++ {
+					if usedAtOrAfter(pl.useStage[v], k) {
+						pl.onceVals[k] = append(pl.onceVals[k], v)
+					}
+				}
+			}
+			continue
+		}
+		minDefStage, maxDefStage := pl.n, -1
+		for _, d := range ds {
+			if d.stage < minDefStage {
+				minDefStage = d.stage
+			}
+			if d.stage > maxDefStage {
+				maxDefStage = d.stage
+			}
+		}
+		pl.defStage[v] = maxDefStage
+		pl.defDepth[v] = ds[len(ds)-1].depth
+
+		// Feedback: used in an earlier stage than some def.
+		minUse := pl.n
+		for s := range pl.useStage[v] {
+			if s < minUse {
+				minUse = s
+			}
+		}
+		if len(pl.useStage[v]) > 0 && minUse < maxDefStage {
+			// Find the deepest def (by stage) and carry at its loop.
+			last := ds[len(ds)-1]
+			for _, d := range ds {
+				if d.stage == maxDefStage {
+					last = d
+				}
+			}
+			if last.loop == nil {
+				return fmt.Errorf("passes: feedback variable %s defined outside any loop", pl.p.Vars[v].Name)
+			}
+			// The carrying rate is the consumer's: the source sends the
+			// final value once per frame of the shallowest use depth (e.g.,
+			// once per sweep for CC's changed counter, even though the
+			// counter increments per vertex).
+			depth := useDepthMin[v]
+			if depth < 1 {
+				depth = 1
+			}
+			if depth > last.depth {
+				depth = last.depth
+			}
+			for s := range pl.useStage[v] {
+				if s < maxDefStage {
+					pl.feedback = append(pl.feedback, feedbackVal{
+						v: v, from: maxDefStage, to: s,
+						depth: depth, loop: last.loop,
+					})
+				}
+			}
+			// A feedback value may also cross forward when an earlier
+			// stage re-initializes it each frame (e.g., CC's per-sweep
+			// `changed = 0` reset feeding the accumulating stage); the
+			// forward path below handles that with the defs that precede
+			// the consuming stage.
+		}
+
+		// Forward crossing: for each boundary k with a def below k and a
+		// use at or after k.
+		for k := 1; k < pl.n; k++ {
+			var lastBelow *defInfo
+			for i := range ds {
+				if ds[i].stage < k {
+					lastBelow = &ds[i]
+				}
+			}
+			if lastBelow == nil {
+				continue
+			}
+			if !usedAtOrAfter(pl.useStage[v], k) {
+				continue
+			}
+			// Exclude pure consumer-local rebinds: if the first action at
+			// stage >= k is a def that fully precedes the uses we would be
+			// feeding, the value still crosses conservatively; recompute
+			// and DCE trim the waste.
+			m := len(pl.pointChain[k])
+			lvl := lastBelow.depth
+			if lvl > m {
+				// The producing definition sits deeper than the boundary's
+				// spanning chain: its value would have to cross mid-frame,
+				// which the protocol cannot express.
+				return fmt.Errorf("passes: value %q is defined at depth %d but crosses boundary %d spanning %d loops (unsupported shape)",
+					pl.p.Vars[v].Name, lastBelow.depth, k, m)
+			}
+			if lvl < 1 {
+				lvl = 1 // nest-level defs cross with the outermost frames
+			}
+			pl.bundles[k][lvl] = append(pl.bundles[k][lvl], v)
+		}
+	}
+	sort.Slice(pl.feedback, func(i, j int) bool {
+		if pl.feedback[i].v != pl.feedback[j].v {
+			return pl.feedback[i].v < pl.feedback[j].v
+		}
+		return pl.feedback[i].to < pl.feedback[j].to
+	})
+	pl.affine = analysis.FindAffineDefs([]ir.Stmt{pl.nest})
+	return nil
+}
+
+func usedAtOrAfter(uses map[int]bool, k int) bool {
+	for s := range uses {
+		if s >= k {
+			return true
+		}
+	}
+	return false
+}

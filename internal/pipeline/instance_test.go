@@ -1,0 +1,77 @@
+package pipeline_test
+
+import (
+	"strings"
+	"testing"
+
+	"phloem/internal/arch"
+	"phloem/internal/core"
+	"phloem/internal/pipeline"
+	"phloem/internal/workloads"
+)
+
+func TestDescribeAndDump(t *testing.T) {
+	res, err := core.CompileSource(workloads.BFSSource, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Pipeline.Describe()
+	for _, want := range []string{"pipeline bfs", "stage", "RA", "SCAN", "INDIRECT"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe missing %q:\n%s", want, d)
+		}
+	}
+	dump := res.Pipeline.DumpStages()
+	for _, want := range []string{"deq", "enq", "load", "store"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("DumpStages missing %q", want)
+		}
+	}
+	if res.Pipeline.TotalStages() != res.Pipeline.NumStages()+len(res.Pipeline.RAs) {
+		t.Error("TotalStages must count software stages plus RAs")
+	}
+}
+
+func TestQueueLimitEnforced(t *testing.T) {
+	res, err := core.CompileSource(workloads.BFSSource, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := arch.DefaultConfig(1)
+	cfg.MaxQueues = 2 // far fewer than the pipeline needs
+	bench, err := workloads.ByName(workloads.ScaleTest, "BFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = pipeline.Instantiate(res.Pipeline, cfg, bench.Train[0].Bind())
+	if err == nil {
+		t.Fatal("expected the 16-queue-per-core limit to be enforced")
+	}
+}
+
+func TestScalarBindingErrors(t *testing.T) {
+	res, err := core.CompileSource(workloads.BFSSource, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, err := workloads.ByName(workloads.ScaleTest, "BFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bench.Train[0].Bind()
+	delete(b.Scalars, "root")
+	if _, err := pipeline.Instantiate(res.Pipeline, arch.DefaultConfig(1), b); err == nil {
+		t.Fatal("missing scalar binding must error")
+	}
+}
+
+func TestSerialWrapper(t *testing.T) {
+	p, err := workloads.CompileSerial(workloads.CCSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := pipeline.NewSerial(p)
+	if pl.NumStages() != 1 || len(pl.RAs) != 0 || len(pl.Queues) != 0 {
+		t.Errorf("serial wrapper: %s", pl.Describe())
+	}
+}

@@ -1,0 +1,197 @@
+// Package pipeline defines the compiler's output representation: a set of
+// pipeline stages (IR statement lists) connected by queues and reference
+// accelerators, plus the machinery to instantiate a pipeline on a simulated
+// Pipette machine with concrete data bindings.
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+
+	"phloem/internal/arch"
+	"phloem/internal/ir"
+	"phloem/internal/isa"
+	"phloem/internal/lower"
+	"phloem/internal/mem"
+	"phloem/internal/sim"
+)
+
+// Stage is one pipeline stage.
+type Stage struct {
+	Name   string
+	Body   []ir.Stmt
+	Thread arch.ThreadID
+	// Overrides replaces scalar parameter values for this stage (e.g., a
+	// data-parallel worker's thread id, a replica's partition base).
+	Overrides map[string]int64
+}
+
+// Queue declares one architectural queue used by the pipeline.
+type Queue struct {
+	Name string
+	// Depth overrides the machine default when > 0.
+	Depth int
+}
+
+// Pipeline is a compiled kernel: stages, queues, and reference accelerators
+// over the variable/slot tables of the underlying IR program.
+type Pipeline struct {
+	Prog   *ir.Prog
+	Stages []*Stage
+	Queues []Queue
+	RAs    []arch.RASpec
+	// Description summarizes how the pipeline was derived (for reports).
+	Description string
+}
+
+// NewSerial wraps an IR program as a single-stage "pipeline" (the serial
+// baseline configuration).
+func NewSerial(p *ir.Prog) *Pipeline {
+	return &Pipeline{
+		Prog: p,
+		Stages: []*Stage{{
+			Name:   p.Name + ".serial",
+			Body:   p.Body,
+			Thread: arch.ThreadID{Core: 0, Thread: 0},
+		}},
+		Description: "serial (1 stage)",
+	}
+}
+
+// AddQueue appends a queue and returns its id.
+func (pl *Pipeline) AddQueue(name string) int {
+	pl.Queues = append(pl.Queues, Queue{Name: name})
+	return len(pl.Queues) - 1
+}
+
+// NumStages returns the number of software stages (threads), excluding RAs.
+func (pl *Pipeline) NumStages() int { return len(pl.Stages) }
+
+// TotalStages counts stages the way Fig. 13 does: software stages plus
+// reference accelerators.
+func (pl *Pipeline) TotalStages() int { return len(pl.Stages) + len(pl.RAs) }
+
+// Describe renders a human-readable structural summary.
+func (pl *Pipeline) Describe() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pipeline %s: %d stages + %d RAs, %d queues (%s)\n",
+		pl.Prog.Name, len(pl.Stages), len(pl.RAs), len(pl.Queues), pl.Description)
+	for _, st := range pl.Stages {
+		fmt.Fprintf(&sb, "  stage %-24s on %s\n", st.Name, st.Thread)
+	}
+	for _, ra := range pl.RAs {
+		fmt.Fprintf(&sb, "  %s\n", ra.String())
+	}
+	return sb.String()
+}
+
+// DumpStages renders every stage's IR (debugging aid).
+func (pl *Pipeline) DumpStages() string {
+	var sb strings.Builder
+	for _, st := range pl.Stages {
+		fmt.Fprintf(&sb, "--- stage %s (%s)\n", st.Name, st.Thread)
+		sb.WriteString(pl.Prog.PrintStmts(st.Body))
+	}
+	return sb.String()
+}
+
+// Bindings supplies concrete data for a pipeline run. Array contents are
+// copied into the simulated address space at Instantiate time; results are
+// read back from the Instance.
+type Bindings struct {
+	// Ints maps int-array slot names to initial contents.
+	Ints map[string][]int64
+	// Floats maps float-array slot names to initial contents.
+	Floats map[string][]float64
+	// Scalars maps scalar parameter names to values.
+	Scalars map[string]int64
+	// FloatScalars maps float scalar parameters to values.
+	FloatScalars map[string]float64
+}
+
+// Instance is an instantiated pipeline ready to Run.
+type Instance struct {
+	Machine *sim.Machine
+	Arrays  map[string]*mem.Array
+}
+
+// Instantiate builds a simulated machine for the pipeline with the given
+// configuration and data bindings.
+func Instantiate(pl *Pipeline, cfg arch.Config, b Bindings) (*Instance, error) {
+	m := sim.NewMachine(cfg)
+	inst := &Instance{Machine: m, Arrays: map[string]*mem.Array{}}
+
+	for _, slot := range pl.Prog.Slots {
+		var a *mem.Array
+		switch slot.Kind {
+		case ir.KFloat:
+			data, ok := b.Floats[slot.Name]
+			if !ok {
+				return nil, fmt.Errorf("pipeline: no binding for float array %q", slot.Name)
+			}
+			a = m.Space.AllocFloats(slot.Name, data)
+		default:
+			data, ok := b.Ints[slot.Name]
+			if !ok {
+				return nil, fmt.Errorf("pipeline: no binding for int array %q", slot.Name)
+			}
+			a = m.Space.AllocInts(slot.Name, data)
+		}
+		m.AddSlot(slot.Name, a)
+		inst.Arrays[slot.Name] = a
+	}
+	for _, q := range pl.Queues {
+		m.Queues = append(m.Queues, arch.QueueSpec{Name: q.Name, Depth: q.Depth})
+	}
+	for _, ra := range pl.RAs {
+		m.AddRA(ra)
+	}
+
+	// Scalar parameter initial values, broadcast to every stage.
+	var inits []sim.RegInit
+	for _, v := range pl.Prog.ScalarParams {
+		info := pl.Prog.Vars[v]
+		var val sim.Value
+		if info.Kind == ir.KFloat {
+			fv, ok := b.FloatScalars[info.Name]
+			if !ok {
+				return nil, fmt.Errorf("pipeline: no binding for float scalar %q", info.Name)
+			}
+			val = sim.FloatVal(fv)
+		} else {
+			iv, ok := b.Scalars[info.Name]
+			if !ok {
+				return nil, fmt.Errorf("pipeline: no binding for scalar %q", info.Name)
+			}
+			val = sim.IntVal(iv)
+		}
+		inits = append(inits, sim.RegInit{Reg: isa.Reg(v), Val: val})
+	}
+
+	for _, st := range pl.Stages {
+		prog, err := lower.Flatten(pl.Prog, st.Name, ir.Optimize(pl.Prog, st.Body))
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: flatten %s: %w", st.Name, err)
+		}
+		stInits := inits
+		if len(st.Overrides) > 0 {
+			stInits = append([]sim.RegInit(nil), inits...)
+			for _, v := range pl.Prog.ScalarParams {
+				if ov, ok := st.Overrides[pl.Prog.Vars[v].Name]; ok {
+					stInits = append(stInits, sim.RegInit{Reg: isa.Reg(v), Val: sim.IntVal(ov)})
+				}
+			}
+		}
+		m.AddStage(&sim.Stage{Prog: prog, Thread: st.Thread, Init: stInits})
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// Run instantiates and executes the pipeline, returning timing statistics.
+// Functional results are available through inst.Arrays.
+func (inst *Instance) Run() (*sim.Stats, error) {
+	return inst.Machine.Run()
+}

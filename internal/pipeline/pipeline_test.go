@@ -1,0 +1,121 @@
+package pipeline_test
+
+import (
+	"fmt"
+	"testing"
+
+	"phloem/internal/arch"
+	"phloem/internal/core"
+	"phloem/internal/graph"
+	"phloem/internal/pipeline"
+	"phloem/internal/workloads"
+)
+
+func TestInstantiateRejectsMissingBindings(t *testing.T) {
+	p, err := workloads.CompileSerial(workloads.BFSSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := pipeline.NewSerial(p)
+	_, err = pipeline.Instantiate(pl, arch.DefaultConfig(1), pipeline.Bindings{})
+	if err == nil {
+		t.Fatal("expected an error for missing array bindings")
+	}
+}
+
+func TestReplicateStructure(t *testing.T) {
+	p, err := workloads.CompileSerial(workloads.BFSSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Compile(p, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := res.Pipeline
+	repl, err := pipeline.Replicate(base, 3, []string{"nodes", "edges"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repl.Stages) != 3*len(base.Stages) {
+		t.Errorf("stages: %d, want %d", len(repl.Stages), 3*len(base.Stages))
+	}
+	if len(repl.RAs) != 3*len(base.RAs) {
+		t.Errorf("RAs: %d, want %d", len(repl.RAs), 3*len(base.RAs))
+	}
+	if len(repl.Queues) != 3*len(base.Queues) {
+		t.Errorf("queues: %d, want %d", len(repl.Queues), 3*len(base.Queues))
+	}
+	// Shared slots appear once; private ones per replica.
+	wantSlots := 2 + 3*(len(base.Prog.Slots)-2)
+	if len(repl.Prog.Slots) != wantSlots {
+		t.Errorf("slots: %d, want %d", len(repl.Prog.Slots), wantSlots)
+	}
+	// Replica r's stages sit on core r.
+	for i, st := range repl.Stages {
+		if st.Thread.Core != i/len(base.Stages) {
+			t.Errorf("stage %d on core %d", i, st.Thread.Core)
+		}
+	}
+}
+
+func TestReplicatedBFSCorrectEachReplica(t *testing.T) {
+	g := graph.Grid("g", 16, 16, 3)
+	p, err := workloads.CompileSerial(workloads.BFSSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Compile(p, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const R = 2
+	repl, err := pipeline.Replicate(res.Pipeline, R, []string{"nodes", "edges"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := workloads.BFSBindings(g, 0)
+	b := pipeline.Bindings{
+		Ints:    map[string][]int64{"nodes": g.Nodes, "edges": g.Edges},
+		Scalars: base.Scalars,
+	}
+	for r := 0; r < R; r++ {
+		for _, name := range []string{"distances", "cur_fringe", "next_fringe"} {
+			b.Ints[fmt.Sprintf("r%d.%s", r, name)] = append([]int64(nil), base.Ints[name]...)
+		}
+	}
+	inst, err := pipeline.Instantiate(repl, arch.DefaultConfig(R), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := workloads.BFSRef(g, 0)
+	for r := 0; r < R; r++ {
+		got := inst.Arrays[fmt.Sprintf("r%d.distances", r)].Ints()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("replica %d distances[%d] = %d, want %d", r, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestReplicatePerReplicaOverrides(t *testing.T) {
+	p, err := workloads.CompileSerial(workloads.BFSSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := pipeline.NewSerial(p)
+	repl, err := pipeline.Replicate(pl, 2, nil, map[string][]int64{"root": {0, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repl.Stages[0].Overrides["root"] != 0 || repl.Stages[1].Overrides["root"] != 5 {
+		t.Error("per-replica overrides not applied")
+	}
+	if _, err := pipeline.Replicate(pl, 2, nil, map[string][]int64{"root": {1}}); err == nil {
+		t.Error("wrong-length overrides must error")
+	}
+}

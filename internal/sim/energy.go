@@ -1,0 +1,58 @@
+package sim
+
+import "fmt"
+
+// Energy is the modeled energy consumption in picojoules, broken down the way
+// Fig. 11 of the paper reports it. The absolute constants below are rough
+// 22 nm-class figures (the paper uses McPAT at 22 nm and Micron DDR3L
+// datasheets); what the evaluation depends on is the *relative* composition:
+// static energy scales with time x active cores, core dynamic energy with
+// issued micro-ops, and memory energy with cache/DRAM access counts.
+type Energy struct {
+	CoreDynamic float64 // pJ, micro-op execution
+	CacheAccess float64 // pJ, L1/L2/L3 accesses
+	DRAM        float64 // pJ, main memory accesses
+	QueueRA     float64 // pJ, Pipette queues and reference accelerators
+	Static      float64 // pJ, leakage + clock over active core-cycles
+}
+
+// Total returns total energy in pJ.
+func (e Energy) Total() float64 {
+	return e.CoreDynamic + e.CacheAccess + e.DRAM + e.QueueRA + e.Static
+}
+
+func (e Energy) String() string {
+	t := e.Total()
+	if t == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("core=%.0f%% cache=%.0f%% dram=%.0f%% queue/ra=%.0f%% static=%.0f%%",
+		100*e.CoreDynamic/t, 100*e.CacheAccess/t, 100*e.DRAM/t,
+		100*e.QueueRA/t, 100*e.Static/t)
+}
+
+// Energy model constants (pJ per event; pJ per core-cycle for static).
+const (
+	eUop        = 25.0   // average per issued micro-op (OOO core, 22 nm)
+	eL1         = 15.0   // per L1 access
+	eL2         = 40.0   // per L2 access
+	eL3         = 120.0  // per L3 access
+	eDRAM       = 2600.0 // per DRAM line access (activate+rd/wr+io)
+	eQueueOp    = 4.0    // per queue enq/deq (register-file backed)
+	eRAAccess   = 10.0   // per RA FSM step beyond the memory access itself
+	eStaticCore = 60.0   // per active core-cycle (leakage + clock tree)
+)
+
+// computeEnergy fills in the energy model from event counts.
+func computeEnergy(s *Stats, queueOps, raEvents uint64, activeCores int) {
+	c := s.Cache
+	s.Energy = Energy{
+		CoreDynamic: float64(s.Issued) * eUop,
+		CacheAccess: float64(c.L1Hits+c.L1Misses)*eL1 +
+			float64(c.L2Hits+c.L2Misses)*eL2 +
+			float64(c.L3Hits+c.L3Misses)*eL3,
+		DRAM:    float64(c.MemAccesses) * eDRAM,
+		QueueRA: float64(queueOps)*eQueueOp + float64(raEvents)*eRAAccess,
+		Static:  float64(s.Cycles) * eStaticCore * float64(activeCores),
+	}
+}

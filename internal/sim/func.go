@@ -1,0 +1,507 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"phloem/internal/arch"
+	"phloem/internal/isa"
+	"phloem/internal/mem"
+)
+
+// Functional engine: co-executes all stage programs with a deterministic
+// round-robin quantum scheduler, unbounded queues, and eager RA propagation.
+// It computes all values (the simulation's functional result lives in the
+// Machine's memory space afterwards) and records the traces that the timing
+// phase replays.
+
+const funcQuantum = 512 // instructions per thread per scheduling turn
+
+type threadState int
+
+const (
+	tsRunning threadState = iota
+	tsDeqBlocked
+	tsBarrier
+	tsHalted
+)
+
+type fThread struct {
+	stage   *Stage
+	pc      int
+	regs    []Value
+	state   threadState
+	blockQ  int // queue blocked on (when tsDeqBlocked)
+	handler map[int]int
+	// handlerVal is the code of the control value that fired the handler.
+	handlerVal int64
+	barriers   int // barriers passed
+	trace      []TEntry
+}
+
+type fQueue struct {
+	buf  []Value
+	head int
+}
+
+func (q *fQueue) len() int { return len(q.buf) - q.head }
+
+func (q *fQueue) push(v Value) { q.buf = append(q.buf, v) }
+
+func (q *fQueue) pop() Value {
+	v := q.buf[q.head]
+	q.head++
+	if q.head > 4096 && q.head*2 > len(q.buf) {
+		q.buf = append(q.buf[:0], q.buf[q.head:]...)
+		q.head = 0
+	}
+	return v
+}
+
+func (q *fQueue) peek() Value { return q.buf[q.head] }
+
+type fRA struct {
+	spec      int // index into Machine.RAs
+	pendStart Value
+	hasStart  bool
+	trace     []RAEvent
+}
+
+type funcEngine struct {
+	m       *Machine
+	threads []*fThread
+	queues  []*fQueue
+	ras     []*fRA
+	total   uint64
+	cap     uint64
+}
+
+// RunFunctional executes the machine's programs to completion and returns the
+// traces. Memory side effects remain in m.Space; slot bindings may have been
+// swapped by the program. Errors report deadlocks and functional traps
+// (out-of-bounds accesses, division by zero, protocol violations).
+func (m *Machine) RunFunctional() (*TraceSet, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	e := &funcEngine{m: m, cap: uint64(m.MaxTraceEntries)}
+	if e.cap == 0 {
+		e.cap = 64 << 20
+	}
+	for _, st := range m.Stages {
+		t := &fThread{
+			stage:   st,
+			regs:    make([]Value, st.Prog.NumRegs),
+			handler: map[int]int{},
+		}
+		for _, ri := range st.Init {
+			t.regs[ri.Reg] = ri.Val
+		}
+		e.threads = append(e.threads, t)
+	}
+	for range m.Queues {
+		e.queues = append(e.queues, &fQueue{})
+	}
+	for i := range m.RAs {
+		e.ras = append(e.ras, &fRA{spec: i})
+	}
+
+	for {
+		progress := false
+		allHalted := true
+		for _, t := range e.threads {
+			if t.state == tsHalted {
+				continue
+			}
+			allHalted = false
+			n, err := e.runThread(t, funcQuantum)
+			if err != nil {
+				return nil, err
+			}
+			if n > 0 {
+				progress = true
+			}
+			if moved, err := e.propagateRAs(); err != nil {
+				return nil, err
+			} else if moved {
+				progress = true
+			}
+		}
+		if e.releaseBarriers() {
+			progress = true
+		}
+		if allHalted {
+			break
+		}
+		if !progress {
+			return nil, e.deadlockError()
+		}
+		if e.total > e.cap {
+			return nil, fmt.Errorf("sim: trace limit exceeded (%d entries); runaway program or input too large", e.total)
+		}
+	}
+
+	ts := &TraceSet{Instructions: e.total}
+	for _, q := range e.queues {
+		ts.Leftover = append(ts.Leftover, q.len())
+	}
+	for _, t := range e.threads {
+		ts.Threads = append(ts.Threads, t.trace)
+	}
+	for _, ra := range e.ras {
+		ts.RA = append(ts.RA, ra.trace)
+	}
+	return ts, nil
+}
+
+// releaseBarriers releases all waiting threads when every live thread is
+// waiting at a barrier. Returns true if anything was released.
+func (e *funcEngine) releaseBarriers() bool {
+	waiting := 0
+	live := 0
+	for _, t := range e.threads {
+		switch t.state {
+		case tsHalted:
+		case tsBarrier:
+			waiting++
+			live++
+		default:
+			live++
+		}
+	}
+	if live == 0 || waiting != live {
+		return false
+	}
+	for _, t := range e.threads {
+		if t.state == tsBarrier {
+			t.state = tsRunning
+			t.barriers++
+			t.pc++ // step past the barrier
+		}
+	}
+	return true
+}
+
+func (e *funcEngine) deadlockError() error {
+	msg := "sim: functional deadlock:"
+	for i, t := range e.threads {
+		switch t.state {
+		case tsDeqBlocked:
+			msg += fmt.Sprintf("\n  stage %d (%s) blocked on deq q%d (%s) at pc %d",
+				i, t.stage.Prog.Name, t.blockQ, e.m.Queues[t.blockQ].Name, t.pc)
+		case tsBarrier:
+			msg += fmt.Sprintf("\n  stage %d (%s) waiting at barrier %d",
+				i, t.stage.Prog.Name, t.barriers)
+		case tsRunning:
+			msg += fmt.Sprintf("\n  stage %d (%s) runnable at pc %d (scheduler bug?)",
+				i, t.stage.Prog.Name, t.pc)
+		}
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// runThread executes up to max instructions of t, returning how many ran.
+func (e *funcEngine) runThread(t *fThread, max int) (int, error) {
+	if t.state == tsDeqBlocked {
+		if e.queues[t.blockQ].len() == 0 {
+			return 0, nil
+		}
+		t.state = tsRunning
+	}
+	if t.state != tsRunning {
+		return 0, nil
+	}
+	prog := t.stage.Prog
+	ran := 0
+	for ran < max {
+		if t.pc < 0 || t.pc >= len(prog.Instrs) {
+			return ran, fmt.Errorf("sim: %s: pc %d out of range", prog.Name, t.pc)
+		}
+		in := &prog.Instrs[t.pc]
+		entry := TEntry{PC: int32(t.pc)}
+		nextPC := t.pc + 1
+		switch in.Op {
+		case isa.OpNop:
+		case isa.OpConst:
+			t.regs[in.Dst] = IntVal(in.Imm)
+		case isa.OpMov:
+			v := t.regs[in.A]
+			v.Ctrl = false
+			t.regs[in.Dst] = v
+		case isa.OpIAdd:
+			t.regs[in.Dst] = IntVal(t.regs[in.A].Bits + t.regs[in.B].Bits)
+		case isa.OpIAddImm:
+			t.regs[in.Dst] = IntVal(t.regs[in.A].Bits + in.Imm)
+		case isa.OpISub:
+			t.regs[in.Dst] = IntVal(t.regs[in.A].Bits - t.regs[in.B].Bits)
+		case isa.OpIMul:
+			t.regs[in.Dst] = IntVal(t.regs[in.A].Bits * t.regs[in.B].Bits)
+		case isa.OpIMulImm:
+			t.regs[in.Dst] = IntVal(t.regs[in.A].Bits * in.Imm)
+		case isa.OpIDiv:
+			d := t.regs[in.B].Bits
+			if d == 0 {
+				return ran, fmt.Errorf("sim: %s@%d: integer division by zero", prog.Name, t.pc)
+			}
+			t.regs[in.Dst] = IntVal(t.regs[in.A].Bits / d)
+		case isa.OpIRem:
+			d := t.regs[in.B].Bits
+			if d == 0 {
+				return ran, fmt.Errorf("sim: %s@%d: integer remainder by zero", prog.Name, t.pc)
+			}
+			t.regs[in.Dst] = IntVal(t.regs[in.A].Bits % d)
+		case isa.OpIAnd:
+			t.regs[in.Dst] = IntVal(t.regs[in.A].Bits & t.regs[in.B].Bits)
+		case isa.OpIAndImm:
+			t.regs[in.Dst] = IntVal(t.regs[in.A].Bits & in.Imm)
+		case isa.OpIOr:
+			t.regs[in.Dst] = IntVal(t.regs[in.A].Bits | t.regs[in.B].Bits)
+		case isa.OpIXor:
+			t.regs[in.Dst] = IntVal(t.regs[in.A].Bits ^ t.regs[in.B].Bits)
+		case isa.OpIShl:
+			t.regs[in.Dst] = IntVal(t.regs[in.A].Bits << uint(t.regs[in.B].Bits&63))
+		case isa.OpIShr:
+			t.regs[in.Dst] = IntVal(t.regs[in.A].Bits >> uint(t.regs[in.B].Bits&63))
+		case isa.OpIShrImm:
+			t.regs[in.Dst] = IntVal(t.regs[in.A].Bits >> uint(in.Imm&63))
+		case isa.OpICmpEQ:
+			t.regs[in.Dst] = boolVal(t.regs[in.A].Bits == t.regs[in.B].Bits)
+		case isa.OpICmpNE:
+			t.regs[in.Dst] = boolVal(t.regs[in.A].Bits != t.regs[in.B].Bits)
+		case isa.OpICmpLT:
+			t.regs[in.Dst] = boolVal(t.regs[in.A].Bits < t.regs[in.B].Bits)
+		case isa.OpICmpLE:
+			t.regs[in.Dst] = boolVal(t.regs[in.A].Bits <= t.regs[in.B].Bits)
+		case isa.OpICmpGT:
+			t.regs[in.Dst] = boolVal(t.regs[in.A].Bits > t.regs[in.B].Bits)
+		case isa.OpICmpGE:
+			t.regs[in.Dst] = boolVal(t.regs[in.A].Bits >= t.regs[in.B].Bits)
+		case isa.OpFAdd:
+			t.regs[in.Dst] = FloatVal(t.regs[in.A].Float() + t.regs[in.B].Float())
+		case isa.OpFSub:
+			t.regs[in.Dst] = FloatVal(t.regs[in.A].Float() - t.regs[in.B].Float())
+		case isa.OpFMul:
+			t.regs[in.Dst] = FloatVal(t.regs[in.A].Float() * t.regs[in.B].Float())
+		case isa.OpFDiv:
+			t.regs[in.Dst] = FloatVal(t.regs[in.A].Float() / t.regs[in.B].Float())
+		case isa.OpFNeg:
+			t.regs[in.Dst] = FloatVal(-t.regs[in.A].Float())
+		case isa.OpFAbs:
+			t.regs[in.Dst] = FloatVal(math.Abs(t.regs[in.A].Float()))
+		case isa.OpFCmpEQ:
+			t.regs[in.Dst] = boolVal(t.regs[in.A].Float() == t.regs[in.B].Float())
+		case isa.OpFCmpNE:
+			t.regs[in.Dst] = boolVal(t.regs[in.A].Float() != t.regs[in.B].Float())
+		case isa.OpFCmpLT:
+			t.regs[in.Dst] = boolVal(t.regs[in.A].Float() < t.regs[in.B].Float())
+		case isa.OpFCmpLE:
+			t.regs[in.Dst] = boolVal(t.regs[in.A].Float() <= t.regs[in.B].Float())
+		case isa.OpFCmpGT:
+			t.regs[in.Dst] = boolVal(t.regs[in.A].Float() > t.regs[in.B].Float())
+		case isa.OpFCmpGE:
+			t.regs[in.Dst] = boolVal(t.regs[in.A].Float() >= t.regs[in.B].Float())
+		case isa.OpI2F:
+			t.regs[in.Dst] = FloatVal(float64(t.regs[in.A].Bits))
+		case isa.OpF2I:
+			t.regs[in.Dst] = IntVal(int64(t.regs[in.A].Float()))
+
+		case isa.OpLoad:
+			a := e.m.Slots[in.Slot]
+			idx := t.regs[in.A].Bits
+			if !a.InBounds(idx) {
+				return ran, fmt.Errorf("sim: %s@%d: load %s[%d] out of bounds (len %d)",
+					prog.Name, t.pc, a.Name, idx, a.Len())
+			}
+			entry.Addr = a.Addr(idx)
+			t.regs[in.Dst] = loadValue(a, idx)
+		case isa.OpPrefetch:
+			a := e.m.Slots[in.Slot]
+			idx := t.regs[in.A].Bits
+			if a.InBounds(idx) {
+				entry.Addr = a.Addr(idx)
+			}
+			// Out-of-bounds prefetches are dropped, as hardware would.
+		case isa.OpStore:
+			a := e.m.Slots[in.Slot]
+			idx := t.regs[in.A].Bits
+			if !a.InBounds(idx) {
+				return ran, fmt.Errorf("sim: %s@%d: store %s[%d] out of bounds (len %d)",
+					prog.Name, t.pc, a.Name, idx, a.Len())
+			}
+			entry.Addr = a.Addr(idx)
+			storeValue(a, idx, t.regs[in.B])
+
+		case isa.OpEnq:
+			e.queues[in.Q].push(t.regs[in.A])
+		case isa.OpEnqCtrl:
+			e.queues[in.Q].push(CtrlVal(in.Imm))
+			entry.Flags |= FlagCtrlDeq
+		case isa.OpEnqCtrlV:
+			e.queues[in.Q].push(CtrlVal(t.regs[in.A].Bits))
+			entry.Flags |= FlagCtrlDeq
+		case isa.OpDeq:
+			q := e.queues[in.Q]
+			if q.len() == 0 {
+				t.state = tsDeqBlocked
+				t.blockQ = in.Q
+				return ran, nil
+			}
+			if h, ok := t.handler[in.Q]; ok && q.peek().Ctrl {
+				v := q.pop()
+				t.handlerVal = v.Bits
+				entry.Flags |= FlagCtrlDeq | FlagHandlerFire
+				nextPC = h
+			} else {
+				v := q.pop()
+				if v.Ctrl {
+					entry.Flags |= FlagCtrlDeq
+				}
+				t.regs[in.Dst] = v
+			}
+		case isa.OpPeek:
+			q := e.queues[in.Q]
+			if q.len() == 0 {
+				t.state = tsDeqBlocked
+				t.blockQ = in.Q
+				return ran, nil
+			}
+			v := q.peek()
+			if v.Ctrl {
+				entry.Flags |= FlagCtrlDeq
+			}
+			t.regs[in.Dst] = v
+		case isa.OpIsCtrl:
+			t.regs[in.Dst] = boolVal(t.regs[in.A].Ctrl)
+		case isa.OpCtrlCode:
+			t.regs[in.Dst] = IntVal(t.regs[in.A].Bits)
+		case isa.OpSetHandler:
+			t.handler[in.Q] = in.Target
+		case isa.OpHandlerVal:
+			t.regs[in.Dst] = IntVal(t.handlerVal)
+
+		case isa.OpBr:
+			if t.regs[in.A].Bits != 0 {
+				nextPC = in.Target
+				entry.Flags |= FlagTaken
+			}
+		case isa.OpBrZ:
+			if t.regs[in.A].Bits == 0 {
+				nextPC = in.Target
+				entry.Flags |= FlagTaken
+			}
+		case isa.OpJmp:
+			nextPC = in.Target
+			entry.Flags |= FlagTaken
+		case isa.OpHalt:
+			t.state = tsHalted
+			t.trace = append(t.trace, entry)
+			e.total++
+			return ran + 1, nil
+		case isa.OpBarrier:
+			t.state = tsBarrier
+			t.trace = append(t.trace, entry)
+			e.total++
+			// pc advances when the barrier is released.
+			return ran + 1, nil
+		case isa.OpSwapSlots:
+			// Drain RAs first so in-flight accelerator work observes the
+			// pre-swap bindings (hardware would quiesce the RA).
+			if _, err := e.propagateRAs(); err != nil {
+				return ran, err
+			}
+			e.m.Slots[in.Slot], e.m.Slots[in.Slot2] = e.m.Slots[in.Slot2], e.m.Slots[in.Slot]
+		default:
+			return ran, fmt.Errorf("sim: %s@%d: unimplemented op %v", prog.Name, t.pc, in.Op)
+		}
+		t.trace = append(t.trace, entry)
+		e.total++
+		t.pc = nextPC
+		ran++
+	}
+	return ran, nil
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return IntVal(1)
+	}
+	return IntVal(0)
+}
+
+func loadValue(a *mem.Array, idx int64) Value {
+	if a.Kind == mem.F64 {
+		return FloatVal(a.LoadFloat(idx))
+	}
+	return IntVal(a.LoadInt(idx))
+}
+
+func storeValue(a *mem.Array, idx int64, v Value) {
+	if a.Kind == mem.F64 {
+		a.StoreFloat(idx, v.Float())
+		return
+	}
+	a.StoreInt(idx, v.Bits)
+}
+
+// propagateRAs drains every RA input queue to completion, recording the RA
+// micro-event trace. Returns whether any token moved.
+func (e *funcEngine) propagateRAs() (bool, error) {
+	moved := false
+	for {
+		anyRound := false
+		for _, ra := range e.ras {
+			spec := &e.m.RAs[ra.spec]
+			inq := e.queues[spec.InQ]
+			outq := e.queues[spec.OutQ]
+			arr := e.m.Slots[spec.Slot]
+			for inq.len() > 0 {
+				v := inq.pop()
+				ra.trace = append(ra.trace, RAEvent{Kind: RAConsume})
+				anyRound = true
+				if v.Ctrl {
+					if ra.hasStart {
+						return moved, fmt.Errorf("sim: RA %s: control value between SCAN start/end pair", spec.Name)
+					}
+					outq.push(v)
+					ra.trace = append(ra.trace, RAEvent{Kind: RAPass})
+					continue
+				}
+				switch spec.Mode {
+				case arch.RAIndirect:
+					idx := v.Bits
+					if !arr.InBounds(idx) {
+						return moved, fmt.Errorf("sim: RA %s: index %d out of bounds for %s (len %d)",
+							spec.Name, idx, arr.Name, arr.Len())
+					}
+					outq.push(loadValue(arr, idx))
+					ra.trace = append(ra.trace, RAEvent{Kind: RALoad, Addr: arr.Addr(idx)})
+				default: // arch.RAScan
+					if !ra.hasStart {
+						ra.pendStart = v
+						ra.hasStart = true
+						continue
+					}
+					start, end := ra.pendStart.Bits, v.Bits
+					ra.hasStart = false
+					if start < 0 || end < start || (end > start && !arr.InBounds(end-1)) {
+						return moved, fmt.Errorf("sim: RA %s: scan range [%d,%d) out of bounds for %s (len %d)",
+							spec.Name, start, end, arr.Name, arr.Len())
+					}
+					for i := start; i < end; i++ {
+						outq.push(loadValue(arr, i))
+						ra.trace = append(ra.trace, RAEvent{Kind: RALoad, Addr: arr.Addr(i)})
+					}
+					if spec.EmitNext {
+						outq.push(CtrlVal(spec.NextCode))
+						ra.trace = append(ra.trace, RAEvent{Kind: RACtrlOut})
+					}
+				}
+			}
+		}
+		if !anyRound {
+			break
+		}
+		moved = true
+	}
+	return moved, nil
+}

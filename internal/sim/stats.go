@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"phloem/internal/cache"
+)
+
+// Breakdown classifies core cycles the way Fig. 10 of the paper does.
+type Breakdown struct {
+	// Issue counts cycles in which the core issued at least one micro-op.
+	Issue uint64
+	// Backend counts stall cycles waiting on the memory system or long
+	// functional-unit latencies.
+	Backend uint64
+	// Queue counts stall cycles blocked on full or empty queues.
+	Queue uint64
+	// Other counts remaining stall cycles (frontend, sync, empty window).
+	Other uint64
+}
+
+// Total returns the summed classified cycles.
+func (b Breakdown) Total() uint64 { return b.Issue + b.Backend + b.Queue + b.Other }
+
+// Add accumulates another breakdown.
+func (b *Breakdown) Add(o Breakdown) {
+	b.Issue += o.Issue
+	b.Backend += o.Backend
+	b.Queue += o.Queue
+	b.Other += o.Other
+}
+
+// ThreadStats reports per-thread dynamic counts.
+type ThreadStats struct {
+	Name         string
+	Instructions uint64
+}
+
+// Stats is the complete result of a timing simulation.
+type Stats struct {
+	// Cycles is the end-to-end execution time in cycles.
+	Cycles uint64
+	// Instructions is the total dynamic micro-op count.
+	Instructions uint64
+	// Issued is the total micro-ops issued (equals Instructions on success).
+	Issued uint64
+	// PerCore is the cycle classification per core (only cores with work).
+	PerCore []Breakdown
+	// Mispredicts counts branch mispredictions.
+	Mispredicts uint64
+	// HandlerFires counts control-value handler activations.
+	HandlerFires uint64
+	// QueueEmptyStalls and QueueFullStalls count cycle-granularity stall
+	// observations on queue operations.
+	QueueEmptyStalls uint64
+	QueueFullStalls  uint64
+	// RALoads counts memory accesses issued by reference accelerators.
+	RALoads uint64
+	// Cache reports hierarchy hit/miss counts.
+	Cache cache.Stats
+	// Energy reports the modeled energy (see energy.go).
+	Energy Energy
+	// Threads reports per-thread instruction counts.
+	Threads []ThreadStats
+}
+
+// TotalBreakdown sums the per-core breakdowns.
+func (s *Stats) TotalBreakdown() Breakdown {
+	var b Breakdown
+	for _, c := range s.PerCore {
+		b.Add(c)
+	}
+	return b
+}
+
+// IPC returns micro-ops issued per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Issued) / float64(s.Cycles)
+}
+
+// String renders a human-readable summary.
+func (s *Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cycles=%d uops=%d ipc=%.2f mispred=%d handlers=%d\n",
+		s.Cycles, s.Issued, s.IPC(), s.Mispredicts, s.HandlerFires)
+	tb := s.TotalBreakdown()
+	tot := float64(tb.Total())
+	if tot > 0 {
+		fmt.Fprintf(&sb, "cycle breakdown: issue=%.0f%% backend=%.0f%% queue=%.0f%% other=%.0f%%\n",
+			100*float64(tb.Issue)/tot, 100*float64(tb.Backend)/tot,
+			100*float64(tb.Queue)/tot, 100*float64(tb.Other)/tot)
+	}
+	fmt.Fprintf(&sb, "cache: L1 %d/%d L2 %d/%d L3 %d/%d mem=%d\n",
+		s.Cache.L1Hits, s.Cache.L1Misses, s.Cache.L2Hits, s.Cache.L2Misses,
+		s.Cache.L3Hits, s.Cache.L3Misses, s.Cache.MemAccesses)
+	fmt.Fprintf(&sb, "energy: %.2f uJ (%s)\n", s.Energy.Total()/1e6, s.Energy.String())
+	return sb.String()
+}

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBreakdownAccounting(t *testing.T) {
+	var b Breakdown
+	b.Add(Breakdown{Issue: 10, Backend: 5, Queue: 3, Other: 2})
+	b.Add(Breakdown{Issue: 1})
+	if b.Total() != 21 || b.Issue != 11 {
+		t.Errorf("breakdown: %+v total %d", b, b.Total())
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := &Stats{
+		Cycles: 100, Issued: 250, Mispredicts: 3, HandlerFires: 1,
+		PerCore: []Breakdown{{Issue: 60, Backend: 30, Queue: 5, Other: 5}},
+	}
+	out := s.String()
+	for _, want := range []string{"cycles=100", "ipc=2.50", "issue=60%", "backend=30%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats string missing %q:\n%s", want, out)
+		}
+	}
+	if s.IPC() != 2.5 {
+		t.Errorf("IPC = %v", s.IPC())
+	}
+	var empty Stats
+	if empty.IPC() != 0 {
+		t.Error("zero-cycle IPC should be 0")
+	}
+}
+
+func TestEnergyComposition(t *testing.T) {
+	s := &Stats{Cycles: 1000, Issued: 500,
+		PerCore: []Breakdown{{Issue: 1000}}}
+	s.Cache.L1Hits = 100
+	s.Cache.MemAccesses = 10
+	computeEnergy(s, 50, 20, 1)
+	e := s.Energy
+	if e.Total() <= 0 {
+		t.Fatal("zero energy")
+	}
+	if e.Static != 1000*eStaticCore {
+		t.Errorf("static energy: %v", e.Static)
+	}
+	if e.DRAM != 10*eDRAM {
+		t.Errorf("dram energy: %v", e.DRAM)
+	}
+	if !strings.Contains(e.String(), "static=") {
+		t.Errorf("energy string: %q", e.String())
+	}
+	if (Energy{}).String() != "0" {
+		t.Error("zero energy string")
+	}
+}
+
+// TestCycleBreakdownSumsToCycles: every simulated core-cycle must be
+// classified into exactly one bucket.
+func TestCycleBreakdownSumsToCycles(t *testing.T) {
+	// Reuse the intro-example machinery for a real multi-stage run.
+	a, bv := introData(t, 3000)
+	st := runIntroPipeline(t, a, bv)
+	total := st.TotalBreakdown().Total()
+	// One active core: classified cycles == end-to-end cycles (modulo the
+	// final cycle that ends the run).
+	if total < st.Cycles-2 || total > st.Cycles+2 {
+		t.Errorf("classified %d cycles of %d", total, st.Cycles)
+	}
+}

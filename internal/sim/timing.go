@@ -1,0 +1,895 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"phloem/internal/cache"
+	"phloem/internal/isa"
+)
+
+// Timing engine: replays the functional traces on the Pipette machine model.
+// Each SMT thread fetches its trace in order into a reorder window; the core
+// issues up to IssueWidth ready micro-ops per cycle across its threads
+// (oldest-first within each thread, register renaming via producer tracking).
+// Queue operations issue in program order per thread and block on full/empty
+// architectural queues; reference accelerators replay their micro-event
+// traces with a bounded outstanding-miss window and in-order delivery.
+
+const (
+	issueScanCap = 48 // unissued entries examined per thread per cycle
+	predBits     = 12
+	idleLimit    = 1 << 20 // cycles without progress before declaring deadlock
+	farFuture    = math.MaxUint64 / 4
+)
+
+type winEntry struct {
+	seq      int // trace index
+	instr    *isa.Instr
+	doneAt   uint64
+	issued   bool
+	srcASeq  int // producer seq for source A (-1: value already available)
+	srcBSeq  int
+	depSeq   int  // for loads: newest older store to same slot (-1: none)
+	redirect bool // fetch stopped behind this entry (mispredict/handler)
+	released bool // for barriers: all threads arrived, entry may issue
+}
+
+type tThread struct {
+	core  int
+	prog  *isa.Program
+	trace []TEntry
+	name  string
+
+	fetchIdx int
+	win      []winEntry
+	winMask  int
+	head     int // ring index of oldest entry
+	count    int
+	baseSeq  int // seq of oldest entry in window
+	scanFrom int // offset of the oldest unissued entry (lazy)
+
+	regWriter []int // last fetched writer seq per register (-1: none live)
+	// lastStoreAt maps byte addresses to the newest fetched store (exact
+	// memory disambiguation, as an OOO core's store queue provides).
+	lastStoreAt map[uint64]int
+	lastQOp     int    // last fetched queue-op seq (-1: none)
+	redirectAt  uint64 // fetch blocked until this cycle (redirect penalty)
+	redirectSeq int    // entry that must issue before fetch resumes (-1: none)
+
+	// gshare predictor
+	predTable []uint8
+	history   uint32
+
+	finished bool
+	issuedN  uint64
+
+	// Scan-skip state: the thread is rescanned when dirty or once wakeAt is
+	// reached; lastQB/lastMB cache the stall classification meanwhile.
+	dirty  bool
+	wakeAt uint64
+	lastQB bool
+	lastMB bool
+}
+
+type tQueue struct {
+	ready []uint64 // readyAt per token, FIFO
+	head  int
+	cap   int
+}
+
+func (q *tQueue) len() int { return len(q.ready) - q.head }
+func (q *tQueue) push(at uint64) {
+	q.ready = append(q.ready, at)
+}
+func (q *tQueue) pop() {
+	q.head++
+	if q.head > 4096 && q.head*2 > len(q.ready) {
+		q.ready = append(q.ready[:0], q.ready[q.head:]...)
+		q.head = 0
+	}
+}
+func (q *tQueue) headReady() uint64 { return q.ready[q.head] }
+
+type tRA struct {
+	core        int
+	events      []RAEvent
+	idx         int
+	inQ, outQ   int
+	outstanding int
+	// inflight delivery FIFO: completion times, delivered in order.
+	inflight []uint64
+	ifHead   int
+	loads    int // loads among inflight
+}
+
+type timingEngine struct {
+	m         *Machine
+	hier      *cache.Hierarchy
+	threads   []*tThread
+	byCore    [][]*tThread
+	queues    []*tQueue
+	ras       []*tRA
+	rasByCore [][]*tRA
+	now       uint64
+
+	// qConsumer[q] is the thread consuming queue q (nil if an RA consumes
+	// it); qProducers[q] lists producing threads (for full-queue wakeups).
+	qConsumer  []*tThread
+	qProducers [][]*tThread
+
+	// mshrs[core] holds the completion times of outstanding L1 misses.
+	mshrs [][]uint64
+
+	stats    Stats
+	queueOps uint64
+	raEvents uint64
+}
+
+// RunTiming replays traces and returns timing statistics. The Machine must be
+// the same instance (programs, queues, RAs) that produced the traces.
+func (m *Machine) RunTiming(ts *TraceSet) (*Stats, error) {
+	e := &timingEngine{m: m, hier: cache.NewHierarchy(m.Cfg.Mem)}
+	e.byCore = make([][]*tThread, m.Cfg.Cores)
+	e.rasByCore = make([][]*tRA, m.Cfg.Cores)
+	for i, st := range m.Stages {
+		winSize := 1
+		for winSize < m.Cfg.WindowSize {
+			winSize <<= 1
+		}
+		t := &tThread{
+			core:        st.Thread.Core,
+			prog:        st.Prog,
+			trace:       ts.Threads[i],
+			name:        st.Prog.Name,
+			win:         make([]winEntry, winSize),
+			regWriter:   make([]int, st.Prog.NumRegs),
+			lastStoreAt: map[uint64]int{},
+			lastQOp:     -1,
+			redirectSeq: -1,
+			predTable:   make([]uint8, 1<<predBits),
+		}
+		t.winMask = len(t.win) - 1
+		for j := range t.regWriter {
+			t.regWriter[j] = -1
+		}
+		if len(t.trace) == 0 {
+			t.finished = true
+		}
+		e.threads = append(e.threads, t)
+		e.byCore[t.core] = append(e.byCore[t.core], t)
+	}
+	for q := range m.Queues {
+		e.queues = append(e.queues, &tQueue{cap: m.queueDepth(q)})
+	}
+	for i, spec := range m.RAs {
+		ra := &tRA{
+			core: spec.Core, events: ts.RA[i], inQ: spec.InQ, outQ: spec.OutQ,
+			outstanding: m.Cfg.RAOutstanding,
+		}
+		e.ras = append(e.ras, ra)
+		e.rasByCore[spec.Core] = append(e.rasByCore[spec.Core], ra)
+	}
+	e.qConsumer = make([]*tThread, len(m.Queues))
+	e.qProducers = make([][]*tThread, len(m.Queues))
+	for i, st := range m.Stages {
+		t := e.threads[i]
+		t.dirty = true
+		for _, in := range st.Prog.Instrs {
+			switch in.Op {
+			case isa.OpDeq, isa.OpPeek:
+				e.qConsumer[in.Q] = t
+			case isa.OpEnq, isa.OpEnqCtrl, isa.OpEnqCtrlV:
+				dup := false
+				for _, p := range e.qProducers[in.Q] {
+					if p == t {
+						dup = true
+					}
+				}
+				if !dup {
+					e.qProducers[in.Q] = append(e.qProducers[in.Q], t)
+				}
+			}
+		}
+	}
+	e.mshrs = make([][]uint64, m.Cfg.Cores)
+	e.stats.PerCore = make([]Breakdown, m.Cfg.Cores)
+	e.stats.Instructions = ts.Instructions
+
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	e.stats.Cycles = e.now
+	e.stats.Cache = e.hier.Stats()
+	active := 0
+	for c := range e.byCore {
+		if len(e.byCore[c]) > 0 || len(e.rasByCore[c]) > 0 {
+			active++
+		}
+	}
+	computeEnergy(&e.stats, e.queueOps, e.raEvents, active)
+	for _, t := range e.threads {
+		e.stats.Threads = append(e.stats.Threads, ThreadStats{Name: t.name, Instructions: uint64(len(t.trace))})
+	}
+	return &e.stats, nil
+}
+
+func (e *timingEngine) run() error {
+	idle := 0
+	for {
+		done := true
+		for _, t := range e.threads {
+			if !t.finished {
+				done = false
+				break
+			}
+		}
+		if done {
+			for _, ra := range e.ras {
+				if ra.idx < len(ra.events) || ra.ifHead < len(ra.inflight) {
+					done = false
+					break
+				}
+			}
+		}
+		if done {
+			return nil
+		}
+
+		progress := false
+
+		// 1. Retire completed entries in order.
+		for _, t := range e.threads {
+			for t.count > 0 {
+				h := &t.win[t.head]
+				if !h.issued || h.doneAt > e.now {
+					break
+				}
+				e.retireHead(t)
+				progress = true
+			}
+		}
+
+		// 2. Barrier resolution: a thread "arrives" when its window head is
+		// an unissued Barrier entry. When all live threads have arrived (or
+		// finished), the pending barriers are released; the release latches
+		// per entry so cross-core barriers may issue on different cycles.
+		if e.barriersReady() {
+			for _, t := range e.threads {
+				if !t.finished && t.count > 0 {
+					t.win[t.head].released = true
+					t.dirty = true
+				}
+			}
+			progress = true
+		}
+
+		// 3. Fetch.
+		for _, t := range e.threads {
+			if e.fetch(t) {
+				progress = true
+			}
+		}
+
+		// 4. RA tick.
+		for _, ra := range e.ras {
+			if e.tickRA(ra) {
+				progress = true
+			}
+		}
+
+		// 5. Issue per core.
+		for c := range e.byCore {
+			issued, blockQ, blockMem := e.issueCore(c)
+			if issued > 0 {
+				progress = true
+				e.stats.PerCore[c].Issue++
+			} else if e.coreLive(c) {
+				switch {
+				case blockQ:
+					e.stats.PerCore[c].Queue++
+					e.stats.QueueEmptyStalls++
+				case blockMem:
+					e.stats.PerCore[c].Backend++
+				default:
+					e.stats.PerCore[c].Other++
+				}
+			}
+		}
+
+		if progress {
+			idle = 0
+			e.now++
+			continue
+		}
+
+		// 6. Idle: fast-forward to the next known event.
+		next := e.nextEvent()
+		if next > e.now && next < farFuture {
+			delta := next - e.now
+			// Attribute skipped cycles per core using the same stall class.
+			for c := range e.byCore {
+				if !e.coreLive(c) {
+					continue
+				}
+				_, blockQ, blockMem := e.classifyCore(c)
+				switch {
+				case blockQ:
+					e.stats.PerCore[c].Queue += delta - 1
+				case blockMem:
+					e.stats.PerCore[c].Backend += delta - 1
+				default:
+					e.stats.PerCore[c].Other += delta - 1
+				}
+			}
+			e.now = next
+			idle = 0
+			continue
+		}
+		idle++
+		e.now++
+		if idle > idleLimit {
+			return e.timingDeadlock()
+		}
+	}
+}
+
+func (e *timingEngine) timingDeadlock() error {
+	msg := "sim: timing deadlock:"
+	for _, t := range e.threads {
+		if t.finished {
+			continue
+		}
+		pc := int32(-1)
+		detail := ""
+		if t.count > 0 {
+			h := &t.win[t.head]
+			pc = t.trace[h.seq].PC
+			detail = fmt.Sprintf(" head={%s issued=%v srcA=%d(ready %v) srcB=%d(ready %v) dep=%d}",
+				h.instr.String(), h.issued,
+				h.srcASeq, t.producerReady(h.srcASeq, e.now),
+				h.srcBSeq, t.producerReady(h.srcBSeq, e.now), h.depSeq)
+		}
+		msg += fmt.Sprintf("\n  %s: fetch %d/%d window=%d headPC=%d redirectSeq=%d dirty=%v wakeAt=%d now=%d scanFrom=%d%s",
+			t.name, t.fetchIdx, len(t.trace), t.count, pc, t.redirectSeq, t.dirty, t.wakeAt, e.now, t.scanFrom, detail)
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// mshrAvailable reports whether the core can start another L1 miss at e.now,
+// compacting completed entries.
+func (e *timingEngine) mshrAvailable(core int) bool {
+	lim := e.m.Cfg.MSHRs
+	if lim <= 0 {
+		return true
+	}
+	live := e.mshrs[core][:0]
+	for _, t := range e.mshrs[core] {
+		if t > e.now {
+			live = append(live, t)
+		}
+	}
+	e.mshrs[core] = live
+	return len(live) < lim
+}
+
+func (e *timingEngine) wakeConsumer(q int) {
+	if t := e.qConsumer[q]; t != nil {
+		t.dirty = true
+	}
+}
+
+func (e *timingEngine) wakeProducers(q int) {
+	for _, t := range e.qProducers[q] {
+		t.dirty = true
+	}
+}
+
+func (e *timingEngine) coreLive(c int) bool {
+	for _, t := range e.byCore[c] {
+		if !t.finished {
+			return true
+		}
+	}
+	return false
+}
+
+// retireHead removes the completed head entry, releasing rename state.
+func (e *timingEngine) retireHead(t *tThread) {
+	t.head = (t.head + 1) & t.winMask
+	t.count--
+	t.baseSeq++
+	if t.scanFrom > 0 {
+		t.scanFrom--
+	}
+}
+
+func (t *tThread) at(seq int) *winEntry {
+	return &t.win[(t.head+(seq-t.baseSeq))&t.winMask]
+}
+
+// producerReady reports whether the producing entry for seq has completed by
+// cycle 'now'; retired producers are always ready.
+func (t *tThread) producerReady(seq int, now uint64) bool {
+	if seq < 0 || seq < t.baseSeq {
+		return true
+	}
+	en := t.at(seq)
+	return en.issued && en.doneAt <= now
+}
+
+// producerDone returns the completion time of the producer, or farFuture if
+// not yet issued.
+func (t *tThread) producerDone(seq int) uint64 {
+	if seq < 0 || seq < t.baseSeq {
+		return 0
+	}
+	en := t.at(seq)
+	if !en.issued {
+		return farFuture
+	}
+	return en.doneAt
+}
+
+// fetch brings up to FetchWidth trace entries into the window.
+func (e *timingEngine) fetch(t *tThread) bool {
+	if t.finished {
+		return false
+	}
+	fetched := 0
+	for fetched < e.m.Cfg.FetchWidth {
+		if t.count >= len(t.win) || t.fetchIdx >= len(t.trace) {
+			break
+		}
+		if t.redirectSeq >= 0 {
+			// Fetch is blocked behind an unresolved redirect.
+			if t.redirectSeq >= t.baseSeq {
+				en := t.at(t.redirectSeq)
+				if !en.issued {
+					break
+				}
+			}
+			if e.now < t.redirectAt {
+				break
+			}
+			t.redirectSeq = -1
+		}
+		seq := t.fetchIdx
+		te := &t.trace[seq]
+		in := &t.prog.Instrs[te.PC]
+		en := winEntry{seq: seq, instr: in, srcASeq: -1, srcBSeq: -1, depSeq: -1}
+
+		a, b := in.Reads()
+		if a != isa.NoReg {
+			en.srcASeq = t.regWriter[a]
+		}
+		if b != isa.NoReg {
+			en.srcBSeq = t.regWriter[b]
+		}
+		switch in.Op {
+		case isa.OpLoad:
+			if dep, ok := t.lastStoreAt[te.Addr]; ok {
+				en.depSeq = dep
+			}
+		case isa.OpStore:
+			t.lastStoreAt[te.Addr] = seq
+		case isa.OpBr, isa.OpBrZ:
+			taken := te.Flags&FlagTaken != 0
+			idx := (uint32(te.PC) ^ t.history) & (1<<predBits - 1)
+			ctr := t.predTable[idx]
+			pred := ctr >= 2
+			if pred != taken {
+				en.redirect = true
+				e.stats.Mispredicts++
+			}
+			if taken && ctr < 3 {
+				t.predTable[idx] = ctr + 1
+			} else if !taken && ctr > 0 {
+				t.predTable[idx] = ctr - 1
+			}
+			t.history = t.history<<1 | b2u(taken)
+		case isa.OpDeq:
+			if te.Flags&FlagHandlerFire != 0 {
+				// A firing handler redirects the front end, like the
+				// hardware jump Pipette performs when a control value is
+				// about to be dequeued.
+				en.redirect = true
+				e.stats.HandlerFires++
+			}
+		}
+		if in.IsQueueOp() {
+			// remember in-order chain for queue ops
+			en.depSeq = t.lastQOp // reuse depSeq for queue ordering (loads never queue ops)
+			t.lastQOp = seq
+		}
+		if w := in.Writes(); w != isa.NoReg {
+			t.regWriter[w] = seq
+		}
+
+		pos := (t.head + t.count) & t.winMask
+		t.win[pos] = en
+		t.count++
+		t.dirty = true
+		t.fetchIdx++
+		fetched++
+		if en.redirect {
+			t.redirectSeq = seq
+			t.redirectAt = farFuture
+			break
+		}
+	}
+	return fetched > 0
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// barriersReady reports whether all live threads are parked at a barrier.
+func (e *timingEngine) barriersReady() bool {
+	any := false
+	for _, t := range e.threads {
+		if t.finished {
+			continue
+		}
+		if t.count == 0 {
+			return false
+		}
+		h := t.win[t.head]
+		// A barrier that was already released but has not issued yet has
+		// not been crossed: counting it as a fresh arrival would pair it
+		// with other threads' *next* barriers and skew the rendezvous.
+		if h.issued || h.released {
+			return false
+		}
+		if t.prog.Instrs[t.trace[h.seq].PC].Op != isa.OpBarrier {
+			return false
+		}
+		any = true
+	}
+	return any
+}
+
+// issueCore issues up to IssueWidth ready micro-ops on core c. It returns the
+// number issued and whether any thread was blocked on a queue or on memory.
+// Threads are visited in rotating order for SMT fairness.
+func (e *timingEngine) issueCore(c int) (issued int, blockQ, blockMem bool) {
+	budget := e.m.Cfg.IssueWidth
+	ths := e.byCore[c]
+	n := len(ths)
+	if n == 0 {
+		return 0, false, false
+	}
+	start := int(e.now) % n
+	for k := 0; k < n; k++ {
+		t := ths[(start+k)%n]
+		if t.finished || budget == 0 {
+			continue
+		}
+		if !t.dirty && e.now < t.wakeAt {
+			blockQ = blockQ || t.lastQB
+			blockMem = blockMem || t.lastMB
+			continue
+		}
+		t.dirty = false
+		scanned := 0
+		anyIssued := false
+		firstUnissued := -1
+		wake := uint64(farFuture)
+		tQB, tMB := false, false
+		for off := t.scanFrom; off < t.count && off < t.scanFrom+2*issueScanCap && scanned < issueScanCap && budget > 0; off++ {
+			en := &t.win[(t.head+off)&t.winMask]
+			if en.issued {
+				continue
+			}
+			scanned++
+			ok, qb, mb := e.tryIssue(t, en)
+			if ok {
+				issued++
+				budget--
+				t.issuedN++
+				e.stats.Issued++
+				anyIssued = true
+			} else {
+				if firstUnissued < 0 {
+					firstUnissued = off
+				}
+				if w := e.entryWake(t, en); w < wake {
+					wake = w
+				}
+				tQB = tQB || qb
+				tMB = tMB || mb
+			}
+		}
+		blockQ = blockQ || tQB
+		blockMem = blockMem || tMB
+		if firstUnissued >= 0 {
+			t.scanFrom = firstUnissued
+		} else if scanned > 0 || t.scanFrom >= t.count {
+			t.scanFrom = 0
+		}
+		if anyIssued || budget == 0 || scanned >= issueScanCap || wake >= farFuture {
+			// More may become ready next cycle (new issues unlock
+			// dependents, the scan was truncated, or the wake time is
+			// unknown). Only sleep on a known finite wake.
+			t.dirty = true
+		} else {
+			t.wakeAt = wake
+			t.lastQB, t.lastMB = tQB, tMB
+		}
+	}
+	return issued, blockQ, blockMem
+}
+
+// entryWake estimates when a not-ready entry could become issuable from
+// information known now: producer completion times and available queue
+// tokens. Unissued producers and queue-state changes wake the thread via
+// dirty marking instead.
+func (e *timingEngine) entryWake(t *tThread, en *winEntry) uint64 {
+	w := uint64(farFuture)
+	if d := t.producerDone(en.srcASeq); d > e.now && d < w {
+		w = d
+	}
+	if d := t.producerDone(en.srcBSeq); d > e.now && d < w {
+		w = d
+	}
+	in := en.instr
+	if in.IsQueueOp() {
+		q := e.queues[in.Q]
+		if (in.Op == isa.OpDeq || in.Op == isa.OpPeek) && q.len() > 0 {
+			if r := q.headReady(); r > e.now && r < w {
+				w = r
+			}
+		}
+	}
+	if in.Op == isa.OpLoad && len(e.mshrs[t.core]) >= e.m.Cfg.MSHRs && e.m.Cfg.MSHRs > 0 {
+		for _, c := range e.mshrs[t.core] {
+			if c > e.now && c < w {
+				w = c
+			}
+		}
+	}
+	return w
+}
+
+// classifyCore recomputes the stall classification without issuing (used when
+// fast-forwarding idle periods).
+func (e *timingEngine) classifyCore(c int) (canIssue, blockQ, blockMem bool) {
+	for _, t := range e.byCore[c] {
+		if t.finished {
+			continue
+		}
+		for off := t.scanFrom; off < t.count && off-t.scanFrom < issueScanCap; off++ {
+			en := &t.win[(t.head+off)&t.winMask]
+			if en.issued {
+				continue
+			}
+			_, qb, mb := e.checkIssue(t, en)
+			blockQ = blockQ || qb
+			blockMem = blockMem || mb
+		}
+	}
+	return false, blockQ, blockMem
+}
+
+// checkIssue evaluates readiness without side effects.
+func (e *timingEngine) checkIssue(t *tThread, en *winEntry) (ready, blockQ, blockMem bool) {
+	in := en.instr
+	if !t.producerReady(en.srcASeq, e.now) || !t.producerReady(en.srcBSeq, e.now) {
+		// Waiting on an operand: attribute to memory if the producer is a
+		// load or the wait is long (FU latency counts as backend too).
+		return false, false, true
+	}
+	switch in.Op {
+	case isa.OpLoad:
+		if en.depSeq >= t.baseSeq && en.depSeq >= 0 {
+			dep := t.at(en.depSeq)
+			if !dep.issued {
+				return false, false, true
+			}
+		}
+		if !e.mshrAvailable(t.core) {
+			return false, false, true
+		}
+		return true, false, false
+	case isa.OpBarrier:
+		return en.released, false, false
+	case isa.OpHalt:
+		// Halt serializes: it may only issue once every older instruction
+		// has retired, otherwise the thread would be marked finished with
+		// work still in flight.
+		return t.count > 0 && t.win[t.head].seq == en.seq, false, false
+	}
+	if in.IsQueueOp() {
+		// In-order among queue ops.
+		if en.depSeq >= t.baseSeq && en.depSeq >= 0 {
+			dep := t.at(en.depSeq)
+			if !dep.issued {
+				return false, false, false
+			}
+		}
+		q := e.queues[in.Q]
+		switch in.Op {
+		case isa.OpEnq, isa.OpEnqCtrl, isa.OpEnqCtrlV:
+			if q.len() >= q.cap {
+				return false, true, false
+			}
+		case isa.OpDeq, isa.OpPeek:
+			if q.len() == 0 || q.headReady() > e.now {
+				return false, true, false
+			}
+		}
+		return true, false, false
+	}
+	return true, false, false
+}
+
+// tryIssue attempts to issue the entry, applying side effects on success.
+func (e *timingEngine) tryIssue(t *tThread, en *winEntry) (ok, blockQ, blockMem bool) {
+	ready, qb, mb := e.checkIssue(t, en)
+	if !ready {
+		return false, qb, mb
+	}
+	te := &t.trace[en.seq]
+	in := en.instr
+	var done uint64
+	switch in.Op {
+	case isa.OpLoad:
+		lat, missed := e.hier.Access(t.core, te.Addr, e.now)
+		done = e.now + lat
+		if missed {
+			e.mshrs[t.core] = append(e.mshrs[t.core], done)
+		}
+	case isa.OpStore:
+		// Stores complete immediately from the pipeline's view (write
+		// buffer); the cache access is charged for stats/energy.
+		e.hier.Access(t.core, te.Addr, e.now)
+		done = e.now + 1
+	case isa.OpPrefetch:
+		// Fire-and-forget: warms the cache without blocking the pipeline.
+		if te.Addr != 0 {
+			e.hier.Access(t.core, te.Addr, e.now)
+		}
+		done = e.now + 1
+	case isa.OpEnq, isa.OpEnqCtrl, isa.OpEnqCtrlV:
+		e.queues[in.Q].push(e.now + 1)
+		e.wakeConsumer(in.Q)
+		e.queueOps++
+		done = e.now + 1
+	case isa.OpDeq:
+		e.queues[in.Q].pop()
+		e.wakeProducers(in.Q)
+		e.queueOps++
+		done = e.now + 1
+	case isa.OpPeek:
+		e.queueOps++
+		done = e.now + 1
+	case isa.OpHalt:
+		t.finished = true
+		done = e.now + 1
+	default:
+		done = e.now + in.Class().Latency()
+	}
+	en.issued = true
+	en.doneAt = done
+	if en.redirect {
+		pen := e.m.Cfg.MispredictPenalty
+		if te.Flags&FlagHandlerFire != 0 {
+			pen = e.m.Cfg.HandlerRedirectPenalty
+		}
+		t.redirectAt = done + pen
+	}
+	return true, false, false
+}
+
+// tickRA advances one reference accelerator by one cycle.
+func (e *timingEngine) tickRA(ra *tRA) bool {
+	moved := false
+	// Deliver completed tokens in order.
+	outq := e.queues[ra.outQ]
+	for ra.ifHead < len(ra.inflight) && ra.inflight[ra.ifHead] <= e.now && outq.len() < outq.cap {
+		outq.push(e.now + 1)
+		e.wakeConsumer(ra.outQ)
+		ra.ifHead++
+		if ra.loads > 0 {
+			ra.loads--
+		}
+		moved = true
+		if ra.ifHead > 4096 && ra.ifHead*2 > len(ra.inflight) {
+			ra.inflight = append(ra.inflight[:0], ra.inflight[ra.ifHead:]...)
+			ra.ifHead = 0
+		}
+	}
+	// Intake: bounded FSM steps per cycle, at most one load start.
+	steps, loadsStarted := 0, 0
+	inq := e.queues[ra.inQ]
+	for ra.idx < len(ra.events) && steps < 4 {
+		ev := ra.events[ra.idx]
+		switch ev.Kind {
+		case RAConsume:
+			if inq.len() == 0 || inq.headReady() > e.now {
+				return moved
+			}
+			inq.pop()
+			e.wakeProducers(ra.inQ)
+		case RALoad:
+			if loadsStarted >= 1 || len(ra.inflight)-ra.ifHead >= ra.outstanding {
+				return moved
+			}
+			lat, _ := e.hier.Access(ra.core, ev.Addr, e.now)
+			ra.inflight = append(ra.inflight, e.now+lat)
+			ra.loads++
+			loadsStarted++
+			e.stats.RALoads++
+			e.raEvents++
+		case RAPass, RACtrlOut:
+			if len(ra.inflight)-ra.ifHead >= ra.outstanding {
+				return moved
+			}
+			ra.inflight = append(ra.inflight, e.now+1)
+			e.raEvents++
+		}
+		ra.idx++
+		steps++
+		moved = true
+	}
+	return moved
+}
+
+// nextEvent returns the earliest future cycle at which something can happen.
+func (e *timingEngine) nextEvent() uint64 {
+	next := uint64(farFuture)
+	min := func(v uint64) {
+		if v > e.now && v < next {
+			next = v
+		}
+	}
+	for _, t := range e.threads {
+		if t.finished {
+			continue
+		}
+		if t.redirectSeq >= 0 && t.redirectAt < farFuture {
+			min(t.redirectAt)
+		}
+		for off := 0; off < t.count && off < issueScanCap+t.scanFrom; off++ {
+			en := &t.win[(t.head+off)&t.winMask]
+			if en.issued {
+				min(en.doneAt)
+				continue
+			}
+			min(t.producerDone(en.srcASeq))
+			min(t.producerDone(en.srcBSeq))
+			in := en.instr
+			if in.IsQueueOp() {
+				q := e.queues[in.Q]
+				if (in.Op == isa.OpDeq || in.Op == isa.OpPeek) && q.len() > 0 {
+					min(q.headReady())
+				}
+			}
+		}
+	}
+	for _, ra := range e.ras {
+		if ra.ifHead < len(ra.inflight) {
+			min(ra.inflight[ra.ifHead])
+		}
+		if ra.idx < len(ra.events) {
+			q := e.queues[ra.inQ]
+			if ra.events[ra.idx].Kind == RAConsume && q.len() > 0 {
+				min(q.headReady())
+			}
+		}
+	}
+	return next
+}
+
+// Run executes the machine end to end: functional phase then timing phase.
+func (m *Machine) Run() (*Stats, error) {
+	ts, err := m.RunFunctional()
+	if err != nil {
+		return nil, err
+	}
+	return m.RunTiming(ts)
+}

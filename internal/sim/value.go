@@ -1,0 +1,34 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Value is one 64-bit machine word plus Pipette's in-band control tag.
+// ALU operations clear the tag; queue operations preserve it.
+type Value struct {
+	Bits int64
+	Ctrl bool
+}
+
+// IntVal makes a data value from an integer.
+func IntVal(v int64) Value { return Value{Bits: v} }
+
+// FloatVal makes a data value from a float64 (stored as its bit pattern).
+func FloatVal(v float64) Value {
+	return Value{Bits: int64(math.Float64bits(v))}
+}
+
+// CtrlVal makes a control value with the given code.
+func CtrlVal(code int64) Value { return Value{Bits: code, Ctrl: true} }
+
+// Float interprets the value's bits as a float64.
+func (v Value) Float() float64 { return math.Float64frombits(uint64(v.Bits)) }
+
+func (v Value) String() string {
+	if v.Ctrl {
+		return fmt.Sprintf("ctrl(%d)", v.Bits)
+	}
+	return fmt.Sprintf("%d", v.Bits)
+}

@@ -1,0 +1,249 @@
+package source
+
+import "fmt"
+
+// Type is the minimal type system: int (64-bit), float (64-bit), and
+// pointers to them. "long"/"double" are accepted as aliases in source.
+type Type int
+
+const (
+	TypeVoid Type = iota
+	TypeInt
+	TypeFloat
+	TypeIntPtr
+	TypeFloatPtr
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeIntPtr:
+		return "int*"
+	case TypeFloatPtr:
+		return "float*"
+	}
+	return "?"
+}
+
+// IsPtr reports whether the type is a pointer (array) type.
+func (t Type) IsPtr() bool { return t == TypeIntPtr || t == TypeFloatPtr }
+
+// Elem returns the element type of a pointer type.
+func (t Type) Elem() Type {
+	switch t {
+	case TypeIntPtr:
+		return TypeInt
+	case TypeFloatPtr:
+		return TypeFloat
+	}
+	return TypeVoid
+}
+
+// Param is one function parameter.
+type Param struct {
+	Name     string
+	Type     Type
+	Restrict bool
+	Line     int
+}
+
+// Pragmas collects the Table II annotations attached to a function.
+type Pragmas struct {
+	// Phloem marks the function for automatic pipeline parallelization.
+	Phloem bool
+	// Replicate is the requested replica count (0: none).
+	Replicate int
+	// Distribute enables data-centric work distribution between replicas.
+	Distribute bool
+}
+
+// Function is a parsed kernel.
+type Function struct {
+	Name    string
+	Params  []Param
+	Body    *Block
+	Pragmas Pragmas
+	Line    int
+}
+
+// Node positions are line numbers (enough for error reporting).
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Block is a `{ ... }` statement list.
+type Block struct {
+	Stmts []Stmt
+}
+
+// DeclStmt declares a local variable with an initializer.
+type DeclStmt struct {
+	Name string
+	Type Type
+	Init Expr
+	Line int
+}
+
+// AssignStmt assigns to a variable or array element. Op is "=", "+=", "-=",
+// "*=", or "/=".
+type AssignStmt struct {
+	Target Expr // *Ident or *Index
+	Op     string
+	Value  Expr
+	Line   int
+}
+
+// IfStmt is a conditional with optional else.
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else *Block // may be nil
+	Line int
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+	Line int
+	// Decouple is set when a `#pragma decouple` precedes the loop.
+	Decouple bool
+}
+
+// ForStmt is a for loop: for (init; cond; post) body. Init may be a
+// declaration or an assignment; Post is an assignment.
+type ForStmt struct {
+	Init Stmt // *DeclStmt or *AssignStmt, may be nil
+	Cond Expr
+	Post *AssignStmt // may be nil
+	Body *Block
+	Line int
+	// Decouple is set when a `#pragma decouple` precedes the loop.
+	Decouple bool
+}
+
+// SwapStmt is the swap(a, b) builtin exchanging two array pointers.
+type SwapStmt struct {
+	A, B string
+	Line int
+}
+
+// DecoupleStmt marks a manual `#pragma decouple` at a statement boundary.
+type DecoupleStmt struct {
+	Line int
+}
+
+// BarrierStmt is the barrier() builtin synchronizing all threads (used by
+// hand-written data-parallel kernels).
+type BarrierStmt struct {
+	Line int
+}
+
+func (*Block) stmtNode()        {}
+func (*DeclStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*SwapStmt) stmtNode()     {}
+func (*DecoupleStmt) stmtNode() {}
+func (*BarrierStmt) stmtNode()  {}
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	// Type is filled in by the checker.
+	ExprType() Type
+}
+
+type exprBase struct{ T Type }
+
+func (e *exprBase) ExprType() Type { return e.T }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Val  int64
+	Line int
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	exprBase
+	Val  float64
+	Line int
+}
+
+// Ident references a variable or parameter.
+type Ident struct {
+	exprBase
+	Name string
+	Line int
+}
+
+// Index is an array element access a[i].
+type Index struct {
+	exprBase
+	Array string // always a direct parameter/pointer-variable name
+	Idx   Expr
+	Line  int
+}
+
+// Binary is a binary operation. Op is one of:
+// + - * / % & | ^ << >> < <= > >= == != && ||
+type Binary struct {
+	exprBase
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// Unary is -x, !x, or ~x.
+type Unary struct {
+	exprBase
+	Op   string
+	X    Expr
+	Line int
+}
+
+// Cast is (int)x or (float)x.
+type Cast struct {
+	exprBase
+	To   Type
+	X    Expr
+	Line int
+}
+
+// Call supports the tiny builtin set: abs(int), fabs(float), min/max(int,int).
+type Call struct {
+	exprBase
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (*IntLit) exprNode()   {}
+func (*FloatLit) exprNode() {}
+func (*Ident) exprNode()    {}
+func (*Index) exprNode()    {}
+func (*Binary) exprNode()   {}
+func (*Unary) exprNode()    {}
+func (*Cast) exprNode()     {}
+func (*Call) exprNode()     {}
+
+// Error is a positioned frontend error.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}

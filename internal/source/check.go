@@ -1,0 +1,276 @@
+package source
+
+// Check type-checks the function in place: it resolves identifiers, fills in
+// expression types, and enforces the language rules Phloem depends on
+// (restrict-qualified arrays, no pointer arithmetic, scalar locals).
+func Check(fn *Function) error {
+	c := &checker{
+		fn:     fn,
+		scopes: []map[string]Type{{}},
+	}
+	for _, p := range fn.Params {
+		if _, dup := c.scopes[0][p.Name]; dup {
+			return errf(p.Line, "duplicate parameter %q", p.Name)
+		}
+		if p.Type.IsPtr() && fn.Pragmas.Phloem && !p.Restrict {
+			return errf(p.Line,
+				"array parameter %q must be restrict-qualified for #pragma phloem (precise aliasing is required, Sec. IV-A)", p.Name)
+		}
+		c.scopes[0][p.Name] = p.Type
+	}
+	return c.block(fn.Body)
+}
+
+type checker struct {
+	fn     *Function
+	scopes []map[string]Type
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]Type{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) lookup(name string) (Type, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if t, ok := c.scopes[i][name]; ok {
+			return t, true
+		}
+	}
+	return TypeVoid, false
+}
+
+func (c *checker) declare(name string, t Type, line int) error {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		return errf(line, "redeclaration of %q in the same scope", name)
+	}
+	top[name] = t
+	return nil
+}
+
+func (c *checker) block(b *Block) error {
+	c.push()
+	defer c.pop()
+	for _, s := range b.Stmts {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *Block:
+		return c.block(s)
+	case *DeclStmt:
+		if err := c.expr(s.Init); err != nil {
+			return err
+		}
+		if err := c.assignable(s.Type, s.Init, s.Line); err != nil {
+			return err
+		}
+		return c.declare(s.Name, s.Type, s.Line)
+	case *AssignStmt:
+		if err := c.expr(s.Target); err != nil {
+			return err
+		}
+		if err := c.expr(s.Value); err != nil {
+			return err
+		}
+		tt := s.Target.ExprType()
+		if tt.IsPtr() {
+			return errf(s.Line, "cannot assign to a pointer; use swap()")
+		}
+		if s.Op != "=" {
+			// compound: target must support arithmetic
+			if tt != TypeInt && tt != TypeFloat {
+				return errf(s.Line, "compound assignment needs numeric target")
+			}
+		}
+		return c.assignable(tt, s.Value, s.Line)
+	case *IfStmt:
+		if err := c.expr(s.Cond); err != nil {
+			return err
+		}
+		if s.Cond.ExprType() != TypeInt {
+			return errf(s.Line, "if condition must be an integer expression")
+		}
+		if err := c.block(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.block(s.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.expr(s.Cond); err != nil {
+			return err
+		}
+		if s.Cond.ExprType() != TypeInt {
+			return errf(s.Line, "while condition must be an integer expression")
+		}
+		return c.block(s.Body)
+	case *ForStmt:
+		c.push()
+		defer c.pop()
+		if s.Init != nil {
+			if err := c.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if err := c.expr(s.Cond); err != nil {
+			return err
+		}
+		if s.Cond.ExprType() != TypeInt {
+			return errf(s.Line, "for condition must be an integer expression")
+		}
+		if s.Post != nil {
+			if err := c.stmt(s.Post); err != nil {
+				return err
+			}
+		}
+		return c.block(s.Body)
+	case *SwapStmt:
+		ta, ok := c.lookup(s.A)
+		if !ok {
+			return errf(s.Line, "undefined array %q", s.A)
+		}
+		tb, ok := c.lookup(s.B)
+		if !ok {
+			return errf(s.Line, "undefined array %q", s.B)
+		}
+		if !ta.IsPtr() || ta != tb {
+			return errf(s.Line, "swap() requires two arrays of the same element type")
+		}
+		return nil
+	case *DecoupleStmt:
+		return nil
+	case *BarrierStmt:
+		return nil
+	}
+	return errf(0, "unknown statement type %T", s)
+}
+
+// assignable checks value compatibility with target type t (int<->float
+// require explicit casts, like gcc -Werror=conversion would).
+func (c *checker) assignable(t Type, v Expr, line int) error {
+	vt := v.ExprType()
+	if t == vt {
+		return nil
+	}
+	return errf(line, "cannot assign %s to %s without an explicit cast", vt, t)
+}
+
+func (c *checker) expr(e Expr) error {
+	switch e := e.(type) {
+	case *IntLit:
+		e.T = TypeInt
+	case *FloatLit:
+		e.T = TypeFloat
+	case *Ident:
+		t, ok := c.lookup(e.Name)
+		if !ok {
+			return errf(e.Line, "undefined identifier %q", e.Name)
+		}
+		e.T = t
+	case *Index:
+		t, ok := c.lookup(e.Array)
+		if !ok {
+			return errf(e.Line, "undefined array %q", e.Array)
+		}
+		if !t.IsPtr() {
+			return errf(e.Line, "%q is not an array", e.Array)
+		}
+		if err := c.expr(e.Idx); err != nil {
+			return err
+		}
+		if e.Idx.ExprType() != TypeInt {
+			return errf(e.Line, "array index must be an integer")
+		}
+		e.T = t.Elem()
+	case *Binary:
+		if err := c.expr(e.L); err != nil {
+			return err
+		}
+		if err := c.expr(e.R); err != nil {
+			return err
+		}
+		lt, rt := e.L.ExprType(), e.R.ExprType()
+		if lt.IsPtr() || rt.IsPtr() {
+			return errf(e.Line, "pointer arithmetic is not supported")
+		}
+		switch e.Op {
+		case "&&", "||", "&", "|", "^", "<<", ">>", "%":
+			if lt != TypeInt || rt != TypeInt {
+				return errf(e.Line, "operator %q requires integer operands", e.Op)
+			}
+			e.T = TypeInt
+		case "<", "<=", ">", ">=", "==", "!=":
+			if lt != rt {
+				return errf(e.Line, "comparison of %s with %s requires a cast", lt, rt)
+			}
+			e.T = TypeInt
+		case "+", "-", "*", "/":
+			if lt != rt {
+				return errf(e.Line, "mixed %s/%s arithmetic requires a cast", lt, rt)
+			}
+			e.T = lt
+		default:
+			return errf(e.Line, "unknown operator %q", e.Op)
+		}
+	case *Unary:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		xt := e.X.ExprType()
+		switch e.Op {
+		case "-":
+			if xt != TypeInt && xt != TypeFloat {
+				return errf(e.Line, "unary - requires a numeric operand")
+			}
+			e.T = xt
+		case "!", "~":
+			if xt != TypeInt {
+				return errf(e.Line, "unary %s requires an integer operand", e.Op)
+			}
+			e.T = TypeInt
+		}
+	case *Cast:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		xt := e.X.ExprType()
+		if xt != TypeInt && xt != TypeFloat {
+			return errf(e.Line, "can only cast numeric values")
+		}
+		e.T = e.To
+	case *Call:
+		for _, a := range e.Args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+		}
+		switch e.Name {
+		case "abs":
+			if len(e.Args) != 1 || e.Args[0].ExprType() != TypeInt {
+				return errf(e.Line, "abs takes one int argument")
+			}
+			e.T = TypeInt
+		case "fabs":
+			if len(e.Args) != 1 || e.Args[0].ExprType() != TypeFloat {
+				return errf(e.Line, "fabs takes one float argument")
+			}
+			e.T = TypeFloat
+		case "min", "max":
+			if len(e.Args) != 2 || e.Args[0].ExprType() != TypeInt || e.Args[1].ExprType() != TypeInt {
+				return errf(e.Line, "%s takes two int arguments", e.Name)
+			}
+			e.T = TypeInt
+		default:
+			return errf(e.Line, "unknown function %q (Phloem compiles single procedures; inline helpers first)", e.Name)
+		}
+	default:
+		return errf(0, "unknown expression type %T", e)
+	}
+	return nil
+}

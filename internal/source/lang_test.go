@@ -1,0 +1,164 @@
+package source
+
+import "testing"
+
+// Additional language-semantics coverage: scoping, casts, operators,
+// pragmas in odd positions, and the builtins.
+
+func TestScopingShadowing(t *testing.T) {
+	fn, err := Parse(`
+void k(int n) {
+  int x = 1;
+  if (n > 0) {
+    int x = 2;
+    int y = x;
+  }
+  int z = x;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScopeDoesNotLeak(t *testing.T) {
+	fn, err := Parse(`
+void k(int n) {
+  if (n > 0) {
+    int inner = 1;
+  }
+  int y = inner;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(fn); err == nil {
+		t.Error("inner-scope variable must not leak")
+	}
+}
+
+func TestForLoopScopesInductionVar(t *testing.T) {
+	fn, err := Parse(`
+void k(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    int x = i;
+  }
+  int y = i;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(fn); err == nil {
+		t.Error("for-loop induction variable must not leak")
+	}
+}
+
+func TestCastRules(t *testing.T) {
+	good := `
+void k(int n, float f) {
+  float a = (float)n;
+  int b = (int)f;
+  float c = a * (float)b;
+}
+`
+	fn, err := Parse(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompoundAssignOps(t *testing.T) {
+	fn, err := Parse(`
+void k(int* restrict a, int n, float f) {
+  int x = 0;
+  x += n;
+  x -= 2;
+  x *= 3;
+  x /= 2;
+  a[0] += x;
+  float g = 1.0;
+  g *= f;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLongDoubleAliases(t *testing.T) {
+	fn, err := Parse(`
+void k(long* restrict a, double* restrict d, long n, double s) {
+  a[0] = n;
+  d[0] = s;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn.Params[0].Type != TypeIntPtr || fn.Params[1].Type != TypeFloatPtr {
+		t.Errorf("aliases: %v %v", fn.Params[0].Type, fn.Params[1].Type)
+	}
+	if err := Check(fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnaryPrecedence(t *testing.T) {
+	fn, err := Parse("void k(int a, int b) { int x = -a * b; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl := fn.Body.Stmts[0].(*DeclStmt)
+	mul, ok := decl.Init.(*Binary)
+	if !ok || mul.Op != "*" {
+		t.Fatalf("top of -a * b should be *, got %T", decl.Init)
+	}
+	if _, ok := mul.L.(*Unary); !ok {
+		t.Error("left of * should be the unary negation")
+	}
+}
+
+func TestCommentsEverywhere(t *testing.T) {
+	fn, err := Parse(`
+// leading
+#pragma phloem
+/* block before */ void /* mid */ k(int n) {
+  int x = n; // trailing
+  /* multi
+     line */
+  int y = x;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	cases := map[Type]string{
+		TypeVoid: "void", TypeInt: "int", TypeFloat: "float",
+		TypeIntPtr: "int*", TypeFloatPtr: "float*",
+	}
+	for ty, want := range cases {
+		if ty.String() != want {
+			t.Errorf("%v.String() = %q", int(ty), ty.String())
+		}
+	}
+	if TypeIntPtr.Elem() != TypeInt || TypeFloatPtr.Elem() != TypeFloat {
+		t.Error("Elem()")
+	}
+}

@@ -1,0 +1,154 @@
+package source
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := LexAll(`int x = 42; // comment
+/* block */ float y = 1.5e3; a <= b && c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lits []string
+	for _, tk := range toks {
+		if tk.Kind != TokEOF {
+			lits = append(lits, tk.Lit)
+		}
+	}
+	want := []string{"int", "x", "=", "42", ";", "float", "y", "=", "1.5e3", ";",
+		"a", "<=", "b", "&&", "c"}
+	if strings.Join(lits, " ") != strings.Join(want, " ") {
+		t.Errorf("got %v", lits)
+	}
+}
+
+func TestLexerPragma(t *testing.T) {
+	toks, err := LexAll("#pragma phloem\nint x = 0;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokPragma || toks[0].Lit != "phloem" {
+		t.Errorf("pragma token: %+v", toks[0])
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := LexAll("int x = $;"); err == nil {
+		t.Error("expected error for $")
+	}
+	if _, err := LexAll("/* unterminated"); err == nil {
+		t.Error("expected error for unterminated comment")
+	}
+	if _, err := LexAll("#define FOO 1"); err == nil {
+		t.Error("expected error for unsupported directive")
+	}
+}
+
+const goodKernel = `
+#pragma phloem
+void k(int* restrict a, float* restrict f, int n, float s) {
+  int acc = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    int v = a[i];
+    if (v > 0 && v < 100) {
+      acc = acc + v;
+    } else {
+      acc = acc - 1;
+    }
+    f[i] = s * (float)v;
+  }
+  while (acc > 10) {
+    acc = acc / 2;
+  }
+  a[0] = acc;
+}
+`
+
+func TestParseAndCheckGoodKernel(t *testing.T) {
+	fn, err := Parse(goodKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn.Name != "k" || len(fn.Params) != 4 {
+		t.Errorf("signature: %s %d params", fn.Name, len(fn.Params))
+	}
+	if !fn.Pragmas.Phloem {
+		t.Error("missing phloem pragma")
+	}
+	if err := Check(fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsePragmas(t *testing.T) {
+	fn, err := Parse(`
+#pragma phloem
+#pragma replicate(4)
+#pragma distribute
+void k(int n) { int x = n; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn.Pragmas.Replicate != 4 || !fn.Pragmas.Distribute {
+		t.Errorf("pragmas: %+v", fn.Pragmas)
+	}
+}
+
+func TestCheckRejections(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"missing restrict", "#pragma phloem\nvoid k(int* a) { a[0] = 1; }"},
+		{"undefined var", "void k(int n) { int x = y; }"},
+		{"type mix", "void k(int n, float f) { int x = n + f; }"},
+		{"assign float to int", "void k(float f) { int x = f; }"},
+		{"pointer arith", "void k(int* restrict a, int n) { int x = a + n; }"},
+		{"redeclaration", "void k(int n) { int x = 1; int x = 2; }"},
+		{"float condition", "void k(float f) { if (f) { int x = 0; } }"},
+		{"unknown call", "void k(int n) { int x = foo(n); }"},
+		{"break", "void k(int n) { while (n > 0) { break; } }"},
+		{"swap type mismatch", "void k(int* restrict a, float* restrict f) { swap(a, f); }"},
+	}
+	for _, c := range cases {
+		fn, err := Parse(c.src)
+		if err == nil {
+			err = Check(fn)
+		}
+		if err == nil {
+			t.Errorf("%s: expected an error", c.name)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"void k(int n) { for (;;) {} }",
+		"void k(int n) { int x; }",                 // missing initializer
+		"int k(int n) { }",                         // non-void return
+		"void k(int n) { } void j(int n) { }",      // two functions
+		"void k(int* restrict a) { a[0][1] = 1; }", // multi-dim
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	fn, err := Parse("void k(int a, int b, int c) { int x = a + b * c; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl := fn.Body.Stmts[0].(*DeclStmt)
+	add := decl.Init.(*Binary)
+	if add.Op != "+" {
+		t.Fatalf("top op %q", add.Op)
+	}
+	if mul, ok := add.R.(*Binary); !ok || mul.Op != "*" {
+		t.Error("* should bind tighter than +")
+	}
+}

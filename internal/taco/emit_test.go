@@ -1,0 +1,50 @@
+package taco
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEmitAllKernelsParseable(t *testing.T) {
+	for _, k := range Kernels() {
+		src, err := Emit(k)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if !strings.Contains(src, "#pragma phloem") {
+			t.Errorf("%s: emitted kernel must carry the phloem pragma", k)
+		}
+		if !strings.Contains(src, "restrict") {
+			t.Errorf("%s: emitted arrays must be restrict-qualified", k)
+		}
+	}
+	if _, err := Emit("nope"); err == nil {
+		t.Error("unknown kernel should error")
+	}
+}
+
+func TestEmitDPAddsPartitioning(t *testing.T) {
+	for _, k := range Kernels() {
+		src, err := EmitDP(k)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if !strings.Contains(src, "tid") || !strings.Contains(src, "nthreads") {
+			t.Errorf("%s DP: missing thread parameters:\n%s", k, src)
+		}
+		if strings.Contains(src, "#pragma phloem") {
+			t.Errorf("%s DP: data-parallel kernels are not phloem-compiled", k)
+		}
+	}
+}
+
+func TestExpressions(t *testing.T) {
+	for _, k := range Kernels() {
+		if Expression(k) == "" {
+			t.Errorf("%s: missing expression", k)
+		}
+	}
+	if Expression("nope") != "" {
+		t.Error("unknown kernel expression should be empty")
+	}
+}

@@ -1,0 +1,312 @@
+// Package taco is a miniature stand-in for the Tensor Algebra Compiler
+// (Taco) used in Sec. IV-D: it accepts a small family of sparse tensor
+// expressions and emits kernels in Phloem's C subset, structured the way
+// Taco lowers CSR expressions (position loops over compressed dimensions,
+// dense loops over dense ones). The emitted code already satisfies Phloem's
+// input requirements — restrict-qualified arrays, single kernel — so the
+// Phloem pass sequence applies to it unchanged.
+package taco
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"phloem/internal/matrix"
+	"phloem/internal/pipeline"
+)
+
+// Kernel names the supported tensor expressions (the paper's Taco suite).
+type Kernel string
+
+const (
+	// SpMV evaluates y(i) = A(i,j) * x(j).
+	SpMV Kernel = "spmv"
+	// SDDMM evaluates A = B ∘ (C D) with dense C, D (K-dimensional inner loop).
+	SDDMM Kernel = "sddmm"
+	// MTMul evaluates y = alpha*A^T*x + beta*z.
+	MTMul Kernel = "mtmul"
+	// Residual evaluates y = b - A*x.
+	Residual Kernel = "residual"
+)
+
+// Kernels lists the supported kernels in the paper's order.
+func Kernels() []Kernel { return []Kernel{SpMV, SDDMM, MTMul, Residual} }
+
+// Expression returns the tensor expression the kernel implements.
+func Expression(k Kernel) string {
+	switch k {
+	case SpMV:
+		return "y(i) = A(i,j) * x(j)"
+	case SDDMM:
+		return "A(i,j) = B(i,j) * C(i,k) * D(k,j)"
+	case MTMul:
+		return "y(j) = alpha * A(i,j) * x(i) + beta * z(j)"
+	case Residual:
+		return "y(i) = b(i) - A(i,j) * x(j)"
+	}
+	return ""
+}
+
+// Emit generates the serial C-subset kernel for the expression. K is the
+// dense dimension for SDDMM (ignored elsewhere).
+func Emit(k Kernel) (string, error) {
+	switch k {
+	case SpMV:
+		return `
+#pragma phloem
+void taco_spmv(int* restrict rows, int* restrict cols, float* restrict vals,
+               float* restrict x, float* restrict y, int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    float acc = 0.0;
+    int p0 = rows[i];
+    int p1 = rows[i + 1];
+    for (int p = p0; p < p1; p = p + 1) {
+      int j = cols[p];
+      float av = vals[p];
+      float xv = x[j];
+      acc = acc + av * xv;
+    }
+    y[i] = acc;
+  }
+}
+`, nil
+	case SDDMM:
+		return `
+#pragma phloem
+void taco_sddmm(int* restrict rows, int* restrict cols, float* restrict bvals,
+                float* restrict avals, float* restrict c, float* restrict d,
+                int n, int kdim) {
+  for (int i = 0; i < n; i = i + 1) {
+    int p0 = rows[i];
+    int p1 = rows[i + 1];
+    int cbase = i * kdim;
+    for (int p = p0; p < p1; p = p + 1) {
+      int j = cols[p];
+      int dbase = j * kdim;
+      float acc = 0.0;
+      for (int k = 0; k < kdim; k = k + 1) {
+        float cv = c[cbase + k];
+        float dv = d[dbase + k];
+        acc = acc + cv * dv;
+      }
+      float bv = bvals[p];
+      avals[p] = bv * acc;
+    }
+  }
+}
+`, nil
+	case MTMul:
+		// Phase 1 scales z into y; phase 2 scatter-adds alpha*A^T*x.
+		return `
+#pragma phloem
+void taco_mtmul(int* restrict rows, int* restrict cols, float* restrict vals,
+                float* restrict x, float* restrict z, float* restrict y,
+                int n, float alpha, float beta) {
+  for (int j = 0; j < n; j = j + 1) {
+    float zv = z[j];
+    y[j] = beta * zv;
+  }
+  for (int i = 0; i < n; i = i + 1) {
+    float xi = x[i];
+    float axi = alpha * xi;
+    int p0 = rows[i];
+    int p1 = rows[i + 1];
+    for (int p = p0; p < p1; p = p + 1) {
+      int j = cols[p];
+      float av = vals[p];
+      y[j] = y[j] + av * axi;
+    }
+  }
+}
+`, nil
+	case Residual:
+		return `
+#pragma phloem
+void taco_residual(int* restrict rows, int* restrict cols, float* restrict vals,
+                   float* restrict x, float* restrict b, float* restrict y, int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    float acc = 0.0;
+    int p0 = rows[i];
+    int p1 = rows[i + 1];
+    for (int p = p0; p < p1; p = p + 1) {
+      int j = cols[p];
+      float av = vals[p];
+      float xv = x[j];
+      acc = acc + av * xv;
+    }
+    float bv = b[i];
+    y[i] = bv - acc;
+  }
+}
+`, nil
+	}
+	return "", fmt.Errorf("taco: unknown kernel %q", k)
+}
+
+// EmitDP generates the data-parallel variant (rows partitioned by thread).
+func EmitDP(k Kernel) (string, error) {
+	src, err := Emit(k)
+	if err != nil {
+		return "", err
+	}
+	// Mechanical transformation mirroring taco's -parallelize flag: add
+	// tid/nthreads parameters and partition the outer i loop. MTMul's
+	// scatter phase keeps a private accumulation region per thread like
+	// PRD would; for simplicity the DP variant partitions the *output*
+	// (column) ranges, so writes stay private.
+	switch k {
+	case MTMul:
+		return `
+void taco_mtmul_dp(int* restrict rows, int* restrict cols, float* restrict vals,
+                   float* restrict x, float* restrict z, float* restrict y,
+                   int n, float alpha, float beta, int tid, int nthreads) {
+  int lo = tid * n / nthreads;
+  int hi = (tid + 1) * n / nthreads;
+  for (int j = lo; j < hi; j = j + 1) {
+    float zv = z[j];
+    y[j] = beta * zv;
+  }
+  barrier();
+  for (int i = 0; i < n; i = i + 1) {
+    float xi = x[i];
+    float axi = alpha * xi;
+    int p0 = rows[i];
+    int p1 = rows[i + 1];
+    for (int p = p0; p < p1; p = p + 1) {
+      int j = cols[p];
+      if (j >= lo) {
+        if (j < hi) {
+          float av = vals[p];
+          y[j] = y[j] + av * axi;
+        }
+      }
+    }
+  }
+}
+`, nil
+	}
+	src = strings.Replace(src, "#pragma phloem\n", "", 1)
+	src = strings.Replace(src, ", int n)", ", int n, int tid, int nthreads)", 1)
+	src = strings.Replace(src, "int n, int kdim)", "int n, int kdim, int tid, int nthreads)", 1)
+	src = strings.Replace(src, "(int i = 0; i < n;",
+		"(int i = tid * n / nthreads; i < (tid + 1) * n / nthreads;", 1)
+	src = strings.Replace(src, "void taco_", "void dp_taco_", 1)
+	return src, nil
+}
+
+// SDDMMK is the dense inner dimension used across the SDDMM evaluation.
+const SDDMMK = 16
+
+// Bindings builds pipeline bindings for a kernel on matrix m.
+func Bindings(k Kernel, m *matrix.CSR, seed int64) pipeline.Bindings {
+	rng := rand.New(rand.NewSource(seed))
+	n := m.N
+	vec := func() []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		return v
+	}
+	b := pipeline.Bindings{
+		Ints:         map[string][]int64{"rows": m.Rows, "cols": m.Cols},
+		Floats:       map[string][]float64{},
+		Scalars:      map[string]int64{"n": int64(n)},
+		FloatScalars: map[string]float64{},
+	}
+	switch k {
+	case SpMV, Residual:
+		b.Floats["vals"] = m.Vals
+		b.Floats["x"] = vec()
+		b.Floats["y"] = make([]float64, n)
+		if k == Residual {
+			b.Floats["b"] = vec()
+		}
+	case SDDMM:
+		b.Floats["bvals"] = m.Vals
+		b.Floats["avals"] = make([]float64, m.NNZ())
+		c := make([]float64, n*SDDMMK)
+		d := make([]float64, n*SDDMMK)
+		for i := range c {
+			c[i] = rng.NormFloat64()
+		}
+		for i := range d {
+			d[i] = rng.NormFloat64()
+		}
+		b.Floats["c"] = c
+		b.Floats["d"] = d
+		b.Scalars["kdim"] = SDDMMK
+	case MTMul:
+		b.Floats["vals"] = m.Vals
+		b.Floats["x"] = vec()
+		b.Floats["z"] = vec()
+		b.Floats["y"] = make([]float64, n)
+		b.FloatScalars["alpha"] = 1.25
+		b.FloatScalars["beta"] = -0.5
+	}
+	return b
+}
+
+// Verify checks a kernel's outputs against a plain Go reference.
+func Verify(k Kernel, m *matrix.CSR, seed int64, inst *pipeline.Instance) error {
+	// Rebuild the same inputs.
+	b := Bindings(k, m, seed)
+	n := m.N
+	approx := func(name string, want []float64) error {
+		got := inst.Arrays[name].Floats()
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				return fmt.Errorf("taco %s: %s[%d] = %g, want %g", k, name, i, got[i], want[i])
+			}
+		}
+		return nil
+	}
+	switch k {
+	case SpMV:
+		want := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for p := m.Rows[i]; p < m.Rows[i+1]; p++ {
+				want[i] += m.Vals[p] * b.Floats["x"][m.Cols[p]]
+			}
+		}
+		return approx("y", want)
+	case Residual:
+		want := make([]float64, n)
+		for i := 0; i < n; i++ {
+			acc := 0.0
+			for p := m.Rows[i]; p < m.Rows[i+1]; p++ {
+				acc += m.Vals[p] * b.Floats["x"][m.Cols[p]]
+			}
+			want[i] = b.Floats["b"][i] - acc
+		}
+		return approx("y", want)
+	case SDDMM:
+		want := make([]float64, m.NNZ())
+		for i := 0; i < n; i++ {
+			for p := m.Rows[i]; p < m.Rows[i+1]; p++ {
+				j := m.Cols[p]
+				acc := 0.0
+				for kk := 0; kk < SDDMMK; kk++ {
+					acc += b.Floats["c"][i*SDDMMK+kk] * b.Floats["d"][int(j)*SDDMMK+kk]
+				}
+				want[p] = m.Vals[p] * acc
+			}
+		}
+		return approx("avals", want)
+	case MTMul:
+		want := make([]float64, n)
+		for j := 0; j < n; j++ {
+			want[j] = -0.5 * b.Floats["z"][j]
+		}
+		for i := 0; i < n; i++ {
+			axi := 1.25 * b.Floats["x"][i]
+			for p := m.Rows[i]; p < m.Rows[i+1]; p++ {
+				want[m.Cols[p]] += m.Vals[p] * axi
+			}
+		}
+		return approx("y", want)
+	}
+	return fmt.Errorf("taco: unknown kernel %q", k)
+}

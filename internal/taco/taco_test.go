@@ -1,0 +1,90 @@
+package taco_test
+
+import (
+	"testing"
+
+	"phloem/internal/arch"
+	"phloem/internal/core"
+	"phloem/internal/matrix"
+	"phloem/internal/pipeline"
+	"phloem/internal/taco"
+	"phloem/internal/workloads"
+)
+
+func TestTacoKernelsSerialAndPhloem(t *testing.T) {
+	m := matrix.Scattered("scircuit", 400, 3, 51)
+	for _, k := range taco.Kernels() {
+		k := k
+		t.Run(string(k), func(t *testing.T) {
+			src, err := taco.Emit(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := workloads.CompileSerial(src)
+			if err != nil {
+				t.Fatalf("compile emitted kernel: %v", err)
+			}
+			inst, err := pipeline.Instantiate(pipeline.NewSerial(serial),
+				arch.DefaultConfig(1), taco.Bindings(k, m, 7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := inst.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := taco.Verify(k, m, 7, inst); err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+
+			// The paper uses the static flow for Taco kernels (Sec. VI-C).
+			res, err := core.Compile(serial, core.DefaultOptions())
+			if err != nil {
+				t.Fatalf("phloem: %v", err)
+			}
+			inst2, err := pipeline.Instantiate(res.Pipeline,
+				arch.DefaultConfig(1), taco.Bindings(k, m, 7))
+			if err != nil {
+				t.Fatalf("instantiate: %v\n%s", err, res.Pipeline.DumpStages())
+			}
+			pc, err := inst2.Run()
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, res.Pipeline.DumpStages())
+			}
+			if err := taco.Verify(k, m, 7, inst2); err != nil {
+				t.Fatalf("phloem: %v", err)
+			}
+			t.Logf("%s: serial=%d phloem=%d (%.2fx) [%s]", k, sc.Cycles, pc.Cycles,
+				float64(sc.Cycles)/float64(pc.Cycles), res.Pipeline.Description)
+		})
+	}
+}
+
+func TestTacoDataParallel(t *testing.T) {
+	m := matrix.Banded("pwtk", 300, 10, 50, 54)
+	for _, k := range taco.Kernels() {
+		src, err := taco.EmitDP(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := workloads.BuildDataParallel(src, 4, 4)
+		if err != nil {
+			t.Fatalf("%s dp compile: %v", k, err)
+		}
+		b := taco.Bindings(k, m, 9)
+		b.Scalars["tid"] = 0
+		b.Scalars["nthreads"] = 4
+		inst, err := pipeline.Instantiate(dp, arch.DefaultConfig(1), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := inst.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := taco.Verify(k, m, 9, inst); err != nil {
+			t.Fatalf("%s dp: %v", k, err)
+		}
+		t.Logf("%s dp: %d cycles", k, st.Cycles)
+	}
+}

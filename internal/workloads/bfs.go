@@ -1,0 +1,105 @@
+package workloads
+
+import (
+	"fmt"
+
+	"phloem/internal/graph"
+	"phloem/internal/pipeline"
+)
+
+// BFSSource is the serial breadth-first search kernel of Fig. 2 (left),
+// written in the C subset. The host initializes distances (INF everywhere,
+// 0 at the root) and seeds cur_fringe with the root before the kernel runs.
+const BFSSource = `
+#pragma phloem
+void bfs(int* restrict nodes, int* restrict edges, int* restrict distances,
+         int* restrict cur_fringe, int* restrict next_fringe,
+         int root, int n) {
+  int cur_size = 1;
+  int next_size = 0;
+  int cur_dist = 1;
+  while (cur_size > 0) {
+    for (int i = 0; i < cur_size; i = i + 1) {
+      int v = cur_fringe[i];
+      int edge_start = nodes[v];
+      int edge_end = nodes[v + 1];
+      for (int e = edge_start; e < edge_end; e = e + 1) {
+        int ngh = edges[e];
+        int old_dist = distances[ngh];
+        if (cur_dist < old_dist) {
+          distances[ngh] = cur_dist;
+          next_fringe[next_size] = ngh;
+          next_size = next_size + 1;
+        }
+      }
+    }
+    swap(cur_fringe, next_fringe);
+    cur_size = next_size;
+    next_size = 0;
+    cur_dist = cur_dist + 1;
+  }
+}
+`
+
+// BFSRef computes reference distances with a plain Go BFS.
+func BFSRef(g *graph.CSR, root int64) []int64 {
+	n := g.NumVertices()
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = INF
+	}
+	dist[root] = 0
+	fringe := []int64{root}
+	d := int64(1)
+	for len(fringe) > 0 {
+		var next []int64
+		for _, v := range fringe {
+			for _, ngh := range g.Neighbors(int(v)) {
+				if d < dist[ngh] {
+					dist[ngh] = d
+					next = append(next, ngh)
+				}
+			}
+		}
+		fringe = next
+		d++
+	}
+	return dist
+}
+
+// BFSBindings builds pipeline bindings for a graph and root.
+func BFSBindings(g *graph.CSR, root int64) pipeline.Bindings {
+	n := g.NumVertices()
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = INF
+	}
+	dist[root] = 0
+	cur := make([]int64, n+1)
+	cur[0] = root
+	return pipeline.Bindings{
+		Ints: map[string][]int64{
+			"nodes":       g.Nodes,
+			"edges":       g.Edges,
+			"distances":   dist,
+			"cur_fringe":  cur,
+			"next_fringe": make([]int64, n+1),
+		},
+		Scalars: map[string]int64{
+			"root": root,
+			"n":    int64(n),
+		},
+	}
+}
+
+// BFSVerify checks an instance's distances against the Go reference.
+func BFSVerify(inst *pipeline.Instance, g *graph.CSR, root int64) error {
+	want := BFSRef(g, root)
+	got := inst.Arrays["distances"].Ints()
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("bfs: distances[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	return nil
+}

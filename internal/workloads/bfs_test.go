@@ -1,0 +1,35 @@
+package workloads
+
+import (
+	"testing"
+
+	"phloem/internal/arch"
+	"phloem/internal/graph"
+	"phloem/internal/pipeline"
+)
+
+func TestBFSSerialMatchesReference(t *testing.T) {
+	p, err := CompileSerial(BFSSource)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	for _, in := range []*graph.CSR{
+		graph.Grid("grid", 12, 12, 1),
+		graph.PowerLaw("pl", 300, 3, 2),
+		graph.Trace("trace", 10, 8, 3),
+	} {
+		pl := pipeline.NewSerial(p)
+		inst, err := pipeline.Instantiate(pl, arch.DefaultConfig(1), BFSBindings(in, 0))
+		if err != nil {
+			t.Fatalf("%s: instantiate: %v", in.Name, err)
+		}
+		st, err := inst.Run()
+		if err != nil {
+			t.Fatalf("%s: run: %v", in.Name, err)
+		}
+		if err := BFSVerify(inst, in, 0); err != nil {
+			t.Errorf("%s: %v", in.Name, err)
+		}
+		t.Logf("%s: %d cycles, %d uops, IPC %.2f", in.Name, st.Cycles, st.Issued, st.IPC())
+	}
+}

@@ -1,0 +1,94 @@
+package workloads
+
+import (
+	"fmt"
+
+	"phloem/internal/graph"
+	"phloem/internal/pipeline"
+)
+
+// CCSource is serial Connected Components by label propagation: every vertex
+// repeatedly adopts the smallest label in its neighborhood until a sweep
+// changes nothing. The neighborhood minimum is accumulated before the
+// read-modify-write of labels[v], which keeps all labels accesses in one
+// stage (the race rule of Fig. 4).
+const CCSource = `
+#pragma phloem
+void cc(int* restrict nodes, int* restrict edges, int* restrict labels, int n) {
+  int changed = 1;
+  while (changed > 0) {
+    changed = 0;
+    for (int v = 0; v < n; v = v + 1) {
+      int edge_start = nodes[v];
+      int edge_end = nodes[v + 1];
+      int best = 1099511627776;
+      for (int e = edge_start; e < edge_end; e = e + 1) {
+        int ngh = edges[e];
+        int ln = labels[ngh];
+        if (ln < best) {
+          best = ln;
+        }
+      }
+      int lv = labels[v];
+      if (best < lv) {
+        labels[v] = best;
+        changed = changed + 1;
+      }
+    }
+  }
+}
+`
+
+// CCRef computes reference labels (the minimum vertex id of each component).
+func CCRef(g *graph.CSR) []int64 {
+	n := g.NumVertices()
+	labels := make([]int64, n)
+	for i := range labels {
+		labels[i] = int64(i)
+	}
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < n; v++ {
+			best := labels[v]
+			for _, ngh := range g.Neighbors(v) {
+				if labels[ngh] < best {
+					best = labels[ngh]
+				}
+			}
+			if best < labels[v] {
+				labels[v] = best
+				changed = true
+			}
+		}
+	}
+	return labels
+}
+
+// CCBindings builds bindings for a graph.
+func CCBindings(g *graph.CSR) pipeline.Bindings {
+	n := g.NumVertices()
+	labels := make([]int64, n)
+	for i := range labels {
+		labels[i] = int64(i)
+	}
+	return pipeline.Bindings{
+		Ints: map[string][]int64{
+			"nodes":  g.Nodes,
+			"edges":  g.Edges,
+			"labels": labels,
+		},
+		Scalars: map[string]int64{"n": int64(n)},
+	}
+}
+
+// CCVerify checks labels against the reference.
+func CCVerify(inst *pipeline.Instance, g *graph.CSR) error {
+	want := CCRef(g)
+	got := inst.Arrays["labels"].Ints()
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("cc: labels[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	return nil
+}

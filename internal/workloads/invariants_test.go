@@ -1,0 +1,96 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"phloem/internal/arch"
+	"phloem/internal/core"
+	"phloem/internal/passes"
+	"phloem/internal/pipeline"
+	"phloem/internal/workloads"
+)
+
+// TestPipelinesDrainAllQueues checks the protocol invariant behind
+// deadlock-freedom: every generated pipeline, under every pass
+// configuration, leaves every queue empty when the program ends. Leftover
+// tokens mean an over-send, which bounded timing queues would eventually
+// deadlock on.
+func TestPipelinesDrainAllQueues(t *testing.T) {
+	configs := []passes.Options{
+		{},
+		{Recompute: true},
+		{Recompute: true, CtrlValues: true},
+		{Recompute: true, CtrlValues: true, InterstageDCE: true, Handlers: true},
+		passes.Default(),
+	}
+	for _, bench := range workloads.Benchmarks(workloads.ScaleTest) {
+		bench := bench
+		t.Run(bench.Name, func(t *testing.T) {
+			serial, err := workloads.CompileSerial(bench.SerialSource)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := bench.Train[0]
+			for _, pc := range configs {
+				opt := core.DefaultOptions()
+				opt.EnableAblation = true
+				opt.Passes = pc
+				res, err := core.Compile(serial, opt)
+				if err != nil {
+					t.Fatalf("[%s]: %v", pc, err)
+				}
+				inst, err := pipeline.Instantiate(res.Pipeline, arch.DefaultConfig(1), in.Bind())
+				if err != nil {
+					t.Fatalf("[%s]: %v", pc, err)
+				}
+				ts, err := inst.Machine.RunFunctional()
+				if err != nil {
+					t.Fatalf("[%s]: %v", pc, err)
+				}
+				for q, n := range ts.Leftover {
+					if n != 0 {
+						t.Errorf("[%s] queue %d (%s): %d leftover tokens",
+							pc, q, inst.Machine.Queues[q].Name, n)
+					}
+				}
+				if err := in.Verify(inst); err != nil {
+					t.Errorf("[%s]: %v", pc, err)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterministicSimulation checks that repeated runs produce identical
+// cycle counts (the simulator is single-threaded and seed-driven).
+func TestDeterministicSimulation(t *testing.T) {
+	bench, err := workloads.ByName(workloads.ScaleTest, "BFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := workloads.CompileSerial(bench.SerialSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Compile(serial, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := bench.Train[1]
+	var first uint64
+	for i := 0; i < 3; i++ {
+		inst, err := pipeline.Instantiate(res.Pipeline, arch.DefaultConfig(1), in.Bind())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := inst.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = st.Cycles
+		} else if st.Cycles != first {
+			t.Fatalf("run %d: %d cycles, first run %d", i, st.Cycles, first)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"phloem/internal/arch"
+	"phloem/internal/graph"
+	"phloem/internal/matrix"
+	"phloem/internal/pipeline"
+	"phloem/internal/workloads"
+)
+
+func TestManualBFSStructure(t *testing.T) {
+	pl, err := workloads.ManualBFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hand pipeline merges the driver and the vertex doubler: 2 threads
+	// + 3 chained RAs.
+	if pl.NumStages() != 2 || len(pl.RAs) != 3 {
+		t.Errorf("manual BFS: %d stages + %d RAs, want 2 + 3", pl.NumStages(), len(pl.RAs))
+	}
+	// The chain: nodes indirect output feeds the edges scan input.
+	if pl.RAs[1].OutQ != pl.RAs[2].InQ {
+		t.Error("manual BFS RAs are not chained")
+	}
+}
+
+func TestManualBFSOnVariedGraphs(t *testing.T) {
+	pl, err := workloads.ManualBFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []*graph.CSR{
+		graph.Grid("grid", 20, 20, 2),
+		graph.PowerLaw("pl", 400, 3, 3),
+		graph.Trace("tr", 12, 10, 4),
+	} {
+		inst, err := pipeline.Instantiate(pl, arch.DefaultConfig(1), workloads.BFSBindings(g, 0))
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if _, err := inst.Run(); err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if err := workloads.BFSVerify(inst, g, 0); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+	}
+}
+
+func TestManualSpMMSkipTrickCorrect(t *testing.T) {
+	pl, err := workloads.ManualSpMM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.NumStages() != 2 || len(pl.RAs) != 4 {
+		t.Errorf("manual SpMM: %d stages + %d RAs, want 2 + 4", pl.NumStages(), len(pl.RAs))
+	}
+	// Disjoint sparsity patterns exercise the skip paths hard: A only has
+	// even columns, B^T only odd ones, so every merge ends in a skip run.
+	a := matrix.Banded("a", 60, 6, 20, 7)
+	bt := matrix.Scattered("bt", 60, 3, 8)
+	inst, err := pipeline.Instantiate(pl, arch.DefaultConfig(1), workloads.SpMMBindings(a, bt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := workloads.SpMMVerify(inst, a, bt); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManualSpMMFewerInstructionsThanPhloem(t *testing.T) {
+	// The skip trick's whole point: fewer dynamic instructions on the merge
+	// by skipping ineffectual comparisons (Sec. VII).
+	man, err := workloads.ManualSpMM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.PowerLawRows("a", 120, 3, 9)
+	bt := a.Transpose("bt")
+	inst, err := pipeline.Instantiate(man, arch.DefaultConfig(1), workloads.SpMMBindings(a, bt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := inst.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workloads.SpMMVerify(inst, a, bt); err != nil {
+		t.Fatal(err)
+	}
+	serial, err := workloads.CompileSerial(workloads.SpMMSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sInst, err := pipeline.Instantiate(pipeline.NewSerial(serial), arch.DefaultConfig(1),
+		workloads.SpMMBindings(a, bt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sSt, err := sInst.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles >= sSt.Cycles*3/2 {
+		t.Errorf("manual SpMM should be competitive with serial: %d vs %d cycles",
+			st.Cycles, sSt.Cycles)
+	}
+}

@@ -1,0 +1,129 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"phloem/internal/graph"
+	"phloem/internal/pipeline"
+)
+
+// PRDSource is PageRank-Delta: instead of recomputing every rank each
+// iteration, only vertices whose rank delta exceeds a threshold push their
+// contribution to their neighbors. The kernel runs a fixed number of
+// iterations of two phases — push deltas, then apply them — which exercises
+// Phloem's program-phase support (Sec. IV-A): the outer counted loop is
+// replicated into every stage and the phases synchronize with barriers.
+// The push loop uses the guard-limit idiom (lim stays at edge_start when the
+// delta is below threshold), keeping the edge traversal on the loop spine
+// where it can be decoupled.
+const PRDSource = `
+#pragma phloem
+void prd(int* restrict nodes, int* restrict edges, float* restrict delta,
+         float* restrict next_delta, float* restrict rank,
+         int n, int niter, float threshold, float alpha) {
+  for (int it = 0; it < niter; it = it + 1) {
+    for (int v = 0; v < n; v = v + 1) {
+      float d = delta[v];
+      int edge_start = nodes[v];
+      int edge_end = nodes[v + 1];
+      int deg = edge_end - edge_start;
+      float ad = fabs(d);
+      int lim = edge_start;
+      if (ad > threshold) {
+        lim = edge_end;
+      }
+      float w = alpha * d / (float)max(deg, 1);
+      for (int e = edge_start; e < lim; e = e + 1) {
+        int ngh = edges[e];
+        next_delta[ngh] = next_delta[ngh] + w;
+      }
+    }
+    for (int u = 0; u < n; u = u + 1) {
+      float nd = next_delta[u];
+      rank[u] = rank[u] + nd;
+      delta[u] = nd;
+      next_delta[u] = 0.0;
+    }
+  }
+}
+`
+
+// PRD parameters used across variants.
+const (
+	PRDIters     = 5
+	PRDThreshold = 1e-4
+	PRDAlpha     = 0.85
+)
+
+// PRDRef computes reference ranks.
+func PRDRef(g *graph.CSR) []float64 {
+	n := g.NumVertices()
+	delta := make([]float64, n)
+	next := make([]float64, n)
+	rank := make([]float64, n)
+	for i := range delta {
+		delta[i] = 1.0 / float64(n)
+		rank[i] = 1.0 / float64(n)
+	}
+	for it := 0; it < PRDIters; it++ {
+		for v := 0; v < n; v++ {
+			d := delta[v]
+			if math.Abs(d) > PRDThreshold {
+				deg := len(g.Neighbors(v))
+				if deg > 0 {
+					w := PRDAlpha * d / float64(deg)
+					for _, ngh := range g.Neighbors(v) {
+						next[ngh] += w
+					}
+				}
+			}
+		}
+		for u := 0; u < n; u++ {
+			rank[u] += next[u]
+			delta[u] = next[u]
+			next[u] = 0
+		}
+	}
+	return rank
+}
+
+// PRDBindings builds bindings for a graph.
+func PRDBindings(g *graph.CSR) pipeline.Bindings {
+	n := g.NumVertices()
+	delta := make([]float64, n)
+	rank := make([]float64, n)
+	for i := range delta {
+		delta[i] = 1.0 / float64(n)
+		rank[i] = 1.0 / float64(n)
+	}
+	return pipeline.Bindings{
+		Ints: map[string][]int64{
+			"nodes": g.Nodes,
+			"edges": g.Edges,
+		},
+		Floats: map[string][]float64{
+			"delta":      delta,
+			"next_delta": make([]float64, n),
+			"rank":       rank,
+		},
+		Scalars: map[string]int64{"n": int64(n), "niter": PRDIters},
+		FloatScalars: map[string]float64{
+			"threshold": PRDThreshold,
+			"alpha":     PRDAlpha,
+		},
+	}
+}
+
+// PRDVerify checks ranks against the reference within a tolerance (parallel
+// variants may reorder float additions).
+func PRDVerify(inst *pipeline.Instance, g *graph.CSR) error {
+	want := PRDRef(g)
+	got := inst.Arrays["rank"].Floats()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+			return fmt.Errorf("prd: rank[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"phloem/internal/graph"
+	"phloem/internal/pipeline"
+)
+
+// RadiiSource estimates the graph radius by running K=64 simultaneous
+// breadth-first searches from sampled vertices, encoded as 64-bit visited
+// masks (the Ligra formulation the paper evaluates). Each round ORs every
+// vertex's neighborhood masks; a vertex whose mask grew records the round as
+// its eccentricity estimate. visited/next_visited flip via swap(), which
+// epoch-synchronizes their accesses across stages.
+const RadiiSource = `
+#pragma phloem
+void radii(int* restrict nodes, int* restrict edges, int* restrict visited,
+           int* restrict next_visited, int* restrict radii, int n) {
+  int round = 1;
+  int changed = 1;
+  while (changed > 0) {
+    changed = 0;
+    for (int v = 0; v < n; v = v + 1) {
+      int edge_start = nodes[v];
+      int edge_end = nodes[v + 1];
+      int m = 0;
+      for (int e = edge_start; e < edge_end; e = e + 1) {
+        int ngh = edges[e];
+        int mv = visited[ngh];
+        m = m | mv;
+      }
+      int m0 = visited[v];
+      int mnew = m | m0;
+      next_visited[v] = mnew;
+      if (mnew != m0) {
+        radii[v] = round;
+        changed = changed + 1;
+      }
+    }
+    swap(visited, next_visited);
+    round = round + 1;
+  }
+}
+`
+
+// radiiSample picks the K source vertices deterministically.
+func radiiSample(n int, k int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, 0, k)
+	seen := map[int]bool{}
+	for len(out) < k && len(out) < n {
+		v := rng.Intn(n)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// RadiiRef computes the reference radii estimates.
+func RadiiRef(g *graph.CSR, seed int64) []int64 {
+	n := g.NumVertices()
+	visited := make([]int64, n)
+	next := make([]int64, n)
+	radii := make([]int64, n)
+	for i, v := range radiiSample(n, 64, seed) {
+		visited[v] |= 1 << uint(i)
+		radii[v] = 0
+	}
+	round := int64(1)
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < n; v++ {
+			m := int64(0)
+			for _, ngh := range g.Neighbors(v) {
+				m |= visited[ngh]
+			}
+			mnew := m | visited[v]
+			next[v] = mnew
+			if mnew != visited[v] {
+				radii[v] = round
+				changed = true
+			}
+		}
+		visited, next = next, visited
+		round++
+	}
+	return radii
+}
+
+// RadiiBindings builds bindings for a graph.
+func RadiiBindings(g *graph.CSR, seed int64) pipeline.Bindings {
+	n := g.NumVertices()
+	visited := make([]int64, n)
+	for i, v := range radiiSample(n, 64, seed) {
+		visited[v] |= 1 << uint(i)
+	}
+	return pipeline.Bindings{
+		Ints: map[string][]int64{
+			"nodes":        g.Nodes,
+			"edges":        g.Edges,
+			"visited":      visited,
+			"next_visited": make([]int64, n),
+			"radii":        make([]int64, n),
+		},
+		Scalars: map[string]int64{"n": int64(n)},
+	}
+}
+
+// RadiiVerify checks radii against the reference.
+func RadiiVerify(inst *pipeline.Instance, g *graph.CSR, seed int64) error {
+	want := RadiiRef(g, seed)
+	got := inst.Arrays["radii"].Ints()
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("radii: radii[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package workloads_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"phloem/internal/graph"
+	"phloem/internal/workloads"
+)
+
+// TestBFSRefAgainstDijkstraLike cross-checks the BFS reference with an
+// independent relaxation-to-fixpoint formulation.
+func TestBFSRefAgainstDijkstraLike(t *testing.T) {
+	f := func(seed uint8) bool {
+		g := graph.Uniform("u", 60, 3, int64(seed))
+		want := workloads.BFSRef(g, 0)
+		// Bellman-Ford style relaxation.
+		n := g.NumVertices()
+		dist := make([]int64, n)
+		for i := range dist {
+			dist[i] = workloads.INF
+		}
+		dist[0] = 0
+		for changed := true; changed; {
+			changed = false
+			for v := 0; v < n; v++ {
+				if dist[v] == workloads.INF {
+					continue
+				}
+				for _, u := range g.Neighbors(v) {
+					if dist[v]+1 < dist[u] {
+						dist[u] = dist[v] + 1
+						changed = true
+					}
+				}
+			}
+		}
+		for i := range dist {
+			if dist[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCCRefPartitionsComponents checks the CC reference labels form valid
+// connected components: same label iff connected.
+func TestCCRefPartitionsComponents(t *testing.T) {
+	f := func(seed uint8) bool {
+		g := graph.Uniform("u", 50, 1.5, int64(seed)) // sparse: many components
+		labels := workloads.CCRef(g)
+		// Labels must be consistent across every edge.
+		for v := 0; v < g.NumVertices(); v++ {
+			for _, u := range g.Neighbors(v) {
+				if labels[v] != labels[u] {
+					return false
+				}
+			}
+		}
+		// The label must be the minimum vertex id in its component (so
+		// every label points at a vertex with that label).
+		for v := 0; v < g.NumVertices(); v++ {
+			l := labels[v]
+			if labels[l] != l || l > int64(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRadiiRefMonotone checks radii estimates are bounded by the observed
+// propagation round count and nonnegative.
+func TestRadiiRefMonotone(t *testing.T) {
+	g := graph.Grid("g", 10, 10, 3)
+	radii := workloads.RadiiRef(g, 99)
+	for v, r := range radii {
+		if r < 0 {
+			t.Fatalf("radii[%d] = %d", v, r)
+		}
+	}
+}
+
+// TestPRDRefMass checks PageRank-Delta conserves pushed mass: the total rank
+// equals the initial mass plus all applied deltas (a loose sanity bound).
+func TestPRDRefMass(t *testing.T) {
+	g := graph.PowerLaw("p", 120, 3, 5)
+	rank := workloads.PRDRef(g)
+	sum := 0.0
+	for _, r := range rank {
+		sum += r
+	}
+	if sum <= 0.9 || sum > 6 {
+		t.Errorf("total rank mass %v out of plausible range", sum)
+	}
+}

@@ -1,0 +1,186 @@
+package workloads
+
+import (
+	"fmt"
+
+	"phloem/internal/graph"
+	"phloem/internal/matrix"
+	"phloem/internal/pipeline"
+)
+
+// Input is one named benchmark input with bindings and verification.
+type Input struct {
+	Name   string
+	Domain string
+	// Bind builds bindings for the serial/Phloem/manual variants.
+	Bind func() pipeline.Bindings
+	// BindDP builds bindings for the data-parallel variant with T threads.
+	BindDP func(threads int) pipeline.Bindings
+	// Verify checks an executed instance's results.
+	Verify func(*pipeline.Instance) error
+}
+
+// Benchmark bundles one evaluated application (Sec. VI-B).
+type Benchmark struct {
+	Name         string
+	SerialSource string
+	DPSource     string
+	// Manual builds the hand-optimized pipeline (nil: expert-selected
+	// points via search; see DESIGN.md's substitution notes).
+	Manual func() (*pipeline.Pipeline, error)
+	Train  []*Input
+	Test   []*Input
+}
+
+// Scale sizes the input suite: the test/CI scale keeps cycle counts small;
+// the full scale makes working sets DRAM-resident like the paper's inputs.
+type Scale int
+
+const (
+	ScaleTest Scale = iota
+	ScaleFull
+)
+
+func bfsInput(name, domain string, g *graph.CSR) *Input {
+	return &Input{
+		Name: name, Domain: domain,
+		Bind: func() pipeline.Bindings { return BFSBindings(g, 0) },
+		BindDP: func(t int) pipeline.Bindings {
+			b := BFSBindings(g, 0)
+			b.Ints["changed"] = make([]int64, t)
+			delete(b.Ints, "cur_fringe")
+			delete(b.Ints, "next_fringe")
+			return dpScalars(b, t)
+		},
+		Verify: func(inst *pipeline.Instance) error { return BFSVerify(inst, g, 0) },
+	}
+}
+
+func ccInput(name, domain string, g *graph.CSR) *Input {
+	return &Input{
+		Name: name, Domain: domain,
+		Bind: func() pipeline.Bindings { return CCBindings(g) },
+		BindDP: func(t int) pipeline.Bindings {
+			b := CCBindings(g)
+			b.Ints["changed"] = make([]int64, t)
+			return dpScalars(b, t)
+		},
+		Verify: func(inst *pipeline.Instance) error { return CCVerify(inst, g) },
+	}
+}
+
+func radiiInput(name, domain string, g *graph.CSR, seed int64) *Input {
+	return &Input{
+		Name: name, Domain: domain,
+		Bind: func() pipeline.Bindings { return RadiiBindings(g, seed) },
+		BindDP: func(t int) pipeline.Bindings {
+			b := RadiiBindings(g, seed)
+			b.Ints["changed"] = make([]int64, t)
+			return dpScalars(b, t)
+		},
+		Verify: func(inst *pipeline.Instance) error { return RadiiVerify(inst, g, seed) },
+	}
+}
+
+func prdInput(name, domain string, g *graph.CSR) *Input {
+	return &Input{
+		Name: name, Domain: domain,
+		Bind: func() pipeline.Bindings { return PRDBindings(g) },
+		BindDP: func(t int) pipeline.Bindings {
+			b := PRDBindings(g)
+			b.Floats["next_delta"] = make([]float64, t*g.NumVertices())
+			return dpScalars(b, t)
+		},
+		Verify: func(inst *pipeline.Instance) error { return PRDVerify(inst, g) },
+	}
+}
+
+func spmmInput(name, domain string, a *matrix.CSR) *Input {
+	bt := a.Transpose(a.Name + "T")
+	return &Input{
+		Name: name, Domain: domain,
+		Bind: func() pipeline.Bindings { return SpMMBindings(a, bt) },
+		BindDP: func(t int) pipeline.Bindings {
+			return dpScalars(SpMMBindings(a, bt), t)
+		},
+		Verify: func(inst *pipeline.Instance) error { return SpMMVerify(inst, a, bt) },
+	}
+}
+
+// graphSuite builds the per-benchmark graph inputs at the requested scale,
+// mirroring Table IV's domains.
+func graphSuite(scale Scale, mk func(name, domain string, g *graph.CSR) *Input) (train, test []*Input) {
+	f := 1
+	if scale == ScaleFull {
+		f = 4
+	}
+	train = []*Input{
+		mk("internet", "Training internet graph", graph.PowerLaw("internet", 800*f, 2, 11)),
+		mk("road-ny", "Training road network", graph.Grid("road-ny", 30*f, 30*f, 12)),
+	}
+	test = []*Input{
+		mk("coauthors", "Human collaboration", graph.PowerLaw("coauthors", 1500*f, 3, 21)),
+		mk("hugetrace", "Dynamic simulation", graph.Trace("hugetrace", 60*f, 24, 22)),
+		mk("freescale", "Circuit simulation", graph.Uniform("freescale", 2000*f, 2.8, 23)),
+		mk("skitter", "Internet graph", graph.PowerLaw("skitter", 1200*f, 6, 24)),
+		mk("road-usa", "Road network", graph.Grid("road-usa", 50*f, 50*f, 25)),
+	}
+	return train, test
+}
+
+func radiiSuite(scale Scale) (train, test []*Input) {
+	return graphSuite(scale, func(name, domain string, g *graph.CSR) *Input {
+		return radiiInput(name, domain, g, 99)
+	})
+}
+
+// spmmSuite mirrors Table V's SpMM rows.
+func spmmSuite(scale Scale) (train, test []*Input) {
+	f := 1
+	if scale == ScaleFull {
+		f = 2
+	}
+	train = []*Input{
+		spmmInput("enron", "Training graph as matrix 1", matrix.PowerLawRows("enron", 150*f, 3, 31)),
+		spmmInput("wiki-vote", "Training graph as matrix 2", matrix.PowerLawRows("wiki-vote", 120*f, 4, 32)),
+	}
+	test = []*Input{
+		spmmInput("p2p-gnutella", "File sharing", matrix.Scattered("p2p-gnutella", 300*f, 1, 41)),
+		spmmInput("amazon", "Graph as matrix", matrix.Scattered("amazon", 280*f, 4, 42)),
+		spmmInput("cage", "Gel electrophoresis", matrix.Banded("cage", 240*f, 8, 40, 43)),
+		spmmInput("2cubes", "Electromagnetics", matrix.Banded("2cubes", 220*f, 8, 200, 44)),
+		spmmInput("rma10", "Fluid dynamics", matrix.Banded("rma10", 160*f, 25, 60, 45)),
+	}
+	return train, test
+}
+
+// Benchmarks returns the five evaluated applications at the given scale.
+func Benchmarks(scale Scale) []*Benchmark {
+	bfsTrain, bfsTest := graphSuite(scale, bfsInput)
+	ccTrain, ccTest := graphSuite(scale, ccInput)
+	radTrain, radTest := radiiSuite(scale)
+	prdTrain, prdTest := graphSuite(scale, prdInput)
+	spTrain, spTest := spmmSuite(scale)
+	return []*Benchmark{
+		{Name: "BFS", SerialSource: BFSSource, DPSource: BFSDPSource,
+			Manual: ManualBFS, Train: bfsTrain, Test: bfsTest},
+		{Name: "CC", SerialSource: CCSource, DPSource: CCDPSource,
+			Train: ccTrain, Test: ccTest},
+		{Name: "PRD", SerialSource: PRDSource, DPSource: PRDDPSource,
+			Train: prdTrain, Test: prdTest},
+		{Name: "Radii", SerialSource: RadiiSource, DPSource: RadiiDPSource,
+			Train: radTrain, Test: radTest},
+		{Name: "SpMM", SerialSource: SpMMSource, DPSource: SpMMDPSource,
+			Manual: ManualSpMM, Train: spTrain, Test: spTest},
+	}
+}
+
+// ByName finds a benchmark in the suite.
+func ByName(scale Scale, name string) (*Benchmark, error) {
+	for _, b := range Benchmarks(scale) {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown benchmark %q", name)
+}

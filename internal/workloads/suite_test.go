@@ -1,0 +1,113 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"phloem/internal/arch"
+	"phloem/internal/core"
+	"phloem/internal/pipeline"
+	"phloem/internal/workloads"
+)
+
+// runAndVerify instantiates, runs, and verifies a pipeline on an input.
+func runAndVerify(t *testing.T, pipe *pipeline.Pipeline, b pipeline.Bindings,
+	in *workloads.Input, cores int) uint64 {
+	t.Helper()
+	inst, err := pipeline.Instantiate(pipe, arch.DefaultConfig(cores), b)
+	if err != nil {
+		t.Fatalf("instantiate: %v", err)
+	}
+	st, err := inst.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := in.Verify(inst); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return st.Cycles
+}
+
+// TestAllBenchmarksAllVariants is the backbone integration test: every
+// benchmark's serial, Phloem (static, all passes), data-parallel, and manual
+// variant must produce reference-identical results on the training inputs.
+func TestAllBenchmarksAllVariants(t *testing.T) {
+	for _, bench := range workloads.Benchmarks(workloads.ScaleTest) {
+		bench := bench
+		t.Run(bench.Name, func(t *testing.T) {
+			serial, err := workloads.CompileSerial(bench.SerialSource)
+			if err != nil {
+				t.Fatalf("serial compile: %v", err)
+			}
+			res, err := core.Compile(serial, core.DefaultOptions())
+			if err != nil {
+				t.Fatalf("phloem compile: %v", err)
+			}
+			t.Logf("phloem: %s", res.Pipeline.Describe())
+			dp, err := workloads.BuildDataParallel(bench.DPSource, 4, 4)
+			if err != nil {
+				t.Fatalf("data-parallel compile: %v", err)
+			}
+			var manual *pipeline.Pipeline
+			if bench.Manual != nil {
+				manual, err = bench.Manual()
+				if err != nil {
+					t.Fatalf("manual build: %v", err)
+				}
+			}
+
+			in := bench.Train[1] // the road-like training input
+			sc := runAndVerify(t, pipeline.NewSerial(serial), in.Bind(), in, 1)
+			pc := runAndVerify(t, res.Pipeline, in.Bind(), in, 1)
+			dc := runAndVerify(t, dp, in.BindDP(4), in, 1)
+			t.Logf("%s on %s: serial=%d phloem=%d (%.2fx) dp=%d (%.2fx)",
+				bench.Name, in.Name, sc, pc, float64(sc)/float64(pc),
+				dc, float64(sc)/float64(dc))
+			if manual != nil {
+				mc := runAndVerify(t, manual, in.Bind(), in, 1)
+				t.Logf("%s manual=%d (%.2fx)", bench.Name, mc, float64(sc)/float64(mc))
+			}
+		})
+	}
+}
+
+// TestAutotuneBFS exercises the profile-guided flow end to end.
+func TestAutotuneBFS(t *testing.T) {
+	bench, err := workloads.ByName(workloads.ScaleTest, "BFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := workloads.CompileSerial(bench.SerialSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	opt.Mode = core.Autotune
+	for _, in := range bench.Train {
+		in := in
+		opt.Training = append(opt.Training, func(p *pipeline.Pipeline) (uint64, error) {
+			inst, err := pipeline.Instantiate(p, arch.DefaultConfig(1), in.Bind())
+			if err != nil {
+				return 0, err
+			}
+			st, err := inst.Run()
+			if err != nil {
+				return 0, err
+			}
+			if err := in.Verify(inst); err != nil {
+				return 0, err
+			}
+			return st.Cycles, nil
+		})
+	}
+	res, err := core.Compile(serial, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Searched < 5 {
+		t.Errorf("autotuner searched only %d pipelines", res.Searched)
+	}
+	t.Logf("searched %d pipelines, best %d train cycles: %s",
+		res.Searched, res.TrainCycles, res.Pipeline.Describe())
+	in := bench.Test[0]
+	runAndVerify(t, res.Pipeline, in.Bind(), in, 1)
+}

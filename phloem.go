@@ -1,0 +1,83 @@
+// Package phloem is a reproduction of "Phloem: Automatic Acceleration of
+// Irregular Applications with Fine-Grain Pipeline Parallelism" (HPCA 2023):
+// a compiler that automatically transforms serial C-subset kernels into
+// fine-grain pipeline-parallel programs for a Pipette-style architecture
+// (SMT out-of-order cores with architecturally visible queues, reference
+// accelerators, and control-value handlers), together with a cycle-level
+// simulator of that architecture.
+//
+// The top-level API wraps the compiler driver and simulator:
+//
+//	result, err := phloem.Compile(source, phloem.Options{})
+//	stats, inst, err := phloem.Run(result.Pipeline, phloem.Bindings{...})
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured results.
+package phloem
+
+import (
+	"phloem/internal/arch"
+	"phloem/internal/core"
+	"phloem/internal/pipeline"
+	"phloem/internal/sim"
+)
+
+// Options configures a compilation. The zero value requests the static
+// compilation flow with all passes on a 1-core Table III machine.
+type Options = core.Options
+
+// Result is a compiled pipeline.
+type Result = core.Result
+
+// Pipeline is the compiler's output: stages, queues, and reference
+// accelerators.
+type Pipeline = pipeline.Pipeline
+
+// Bindings supplies the concrete arrays and scalars for a run.
+type Bindings = pipeline.Bindings
+
+// Instance is an instantiated pipeline whose arrays hold results after Run.
+type Instance = pipeline.Instance
+
+// Stats is the simulator's timing, stall-breakdown, and energy report.
+type Stats = sim.Stats
+
+// MachineConfig describes the simulated Pipette machine.
+type MachineConfig = arch.Config
+
+// Static and Autotune select the compilation flow of Fig. 8.
+const (
+	Static   = core.Static
+	Autotune = core.Autotune
+)
+
+// DefaultOptions returns an all-passes static compilation for the paper's
+// Table III machine.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// DefaultMachine returns the Table III configuration with the given core count.
+func DefaultMachine(cores int) MachineConfig { return arch.DefaultConfig(cores) }
+
+// Compile parses, checks, and pipelines a serial kernel written in the C
+// subset (see internal/source for the language).
+func Compile(source string, opt Options) (*Result, error) {
+	return core.CompileSource(source, opt)
+}
+
+// Serial wraps a compiled program as a single-thread baseline; compile with
+// Compile first and pass Result.Prog.
+func Serial(res *Result) *Pipeline { return pipeline.NewSerial(res.Prog) }
+
+// Run instantiates the pipeline on a machine and simulates it end to end.
+// Functional results are read back through the returned Instance's Arrays.
+func Run(p *Pipeline, cfg MachineConfig, b Bindings) (*Stats, *Instance, error) {
+	inst, err := pipeline.Instantiate(p, cfg, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := inst.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, inst, nil
+}

@@ -1,0 +1,101 @@
+package phloem_test
+
+import (
+	"testing"
+
+	"phloem"
+)
+
+const testKernel = `
+#pragma phloem
+void sumidx(int* restrict a, int* restrict b, int* restrict out, int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    int idx = a[i];
+    int v = b[idx];
+    acc = acc + v;
+  }
+  out[0] = acc;
+}
+`
+
+func bindings(n int) phloem.Bindings {
+	a := make([]int64, n)
+	b := make([]int64, n)
+	for i := range a {
+		a[i] = int64((i * 7) % n)
+		b[i] = int64(i * i)
+	}
+	return phloem.Bindings{
+		Ints: map[string][]int64{
+			"a": a, "b": b, "out": make([]int64, 1),
+		},
+		Scalars: map[string]int64{"n": int64(n)},
+	}
+}
+
+func TestPublicAPICompileAndRun(t *testing.T) {
+	res, err := phloem.Compile(testKernel, phloem.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pipeline.NumStages() < 2 {
+		t.Errorf("expected a multi-stage pipeline, got %d stages", res.Pipeline.NumStages())
+	}
+	const n = 3000
+	machine := phloem.DefaultMachine(1)
+	serStats, serInst, err := phloem.Run(phloem.Serial(res), machine, bindings(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeStats, pipeInst, err := phloem.Run(res.Pipeline, machine, bindings(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serInst.Arrays["out"].Ints()[0] != pipeInst.Arrays["out"].Ints()[0] {
+		t.Fatalf("results differ: serial %d vs pipeline %d",
+			serInst.Arrays["out"].Ints()[0], pipeInst.Arrays["out"].Ints()[0])
+	}
+	if pipeStats.Cycles == 0 || serStats.Cycles == 0 {
+		t.Fatal("zero cycle counts")
+	}
+	t.Logf("serial %d cycles, pipeline %d cycles (%.2fx)",
+		serStats.Cycles, pipeStats.Cycles,
+		float64(serStats.Cycles)/float64(pipeStats.Cycles))
+}
+
+func TestPublicAPICompileErrors(t *testing.T) {
+	if _, err := phloem.Compile("void k(int* a) { a[0] = 1; }",
+		phloem.DefaultOptions()); err != nil {
+		// non-phloem function without restrict is fine (no pragma)...
+		t.Logf("compile: %v", err)
+	}
+	if _, err := phloem.Compile("#pragma phloem\nvoid k(int* a) { a[0] = 1; }",
+		phloem.DefaultOptions()); err == nil {
+		t.Error("missing restrict with #pragma phloem must fail")
+	}
+	if _, err := phloem.Compile("not a kernel", phloem.DefaultOptions()); err == nil {
+		t.Error("garbage input must fail")
+	}
+}
+
+func TestAutotuneMode(t *testing.T) {
+	opt := phloem.DefaultOptions()
+	opt.Mode = phloem.Autotune
+	opt.Training = []func(*phloem.Pipeline) (uint64, error){
+		func(p *phloem.Pipeline) (uint64, error) {
+			st, _, err := phloem.Run(p, phloem.DefaultMachine(1), bindings(400))
+			if err != nil {
+				return 0, err
+			}
+			return st.Cycles, nil
+		},
+	}
+	res, err := phloem.Compile(testKernel, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Searched < 2 {
+		t.Errorf("autotune searched %d pipelines", res.Searched)
+	}
+}
