@@ -68,6 +68,39 @@ void k(int* restrict a, int* restrict b, int* restrict out, int n) {
 	}
 }
 
+func TestPhloemcLint(t *testing.T) {
+	src := `
+#pragma phloem
+void k(int* restrict a, int* restrict b, int* restrict out, int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    int idx = a[i];
+    int v = b[idx];
+    acc = acc + v;
+  }
+  out[0] = acc;
+}
+`
+	f := filepath.Join(t.TempDir(), "k.c")
+	if err := os.WriteFile(f, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, "phloemc", "-lint", f)
+	if !strings.Contains(out, "verifies clean") {
+		t.Errorf("clean kernel should lint clean:\n%s", out)
+	}
+	// With an injected protocol violation, lint must report the rule and
+	// exit non-zero.
+	cmd := exec.Command(filepath.Join(binDir, "phloemc"), "-lint", "-lint-inject", f)
+	broken, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("-lint-inject should exit non-zero:\n%s", broken)
+	}
+	if !strings.Contains(string(broken), "[C2]") {
+		t.Errorf("injected violation should report rule C2:\n%s", broken)
+	}
+}
+
 func TestPhloemcRejectsBadInput(t *testing.T) {
 	f := filepath.Join(t.TempDir(), "bad.c")
 	os.WriteFile(f, []byte("void k(int n) { undefined_thing; }"), 0o644)

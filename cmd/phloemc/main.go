@@ -2,10 +2,15 @@
 // prints its structure (stages, queues, reference accelerators) and,
 // with -dump, the generated per-stage IR.
 //
+// With -lint it instead runs the static pipeline verifier over the
+// compiled pipeline and prints every diagnostic (warnings included, which
+// a normal compile does not reject), exiting non-zero if any are errors.
+//
 // Usage:
 //
 //	phloemc kernel.c
 //	phloemc -threads 4 -passes Q,R,CV -dump kernel.c
+//	phloemc -lint kernel.c
 package main
 
 import (
@@ -14,15 +19,37 @@ import (
 	"os"
 	"strings"
 
+	"phloem/internal/arch"
 	"phloem/internal/core"
+	"phloem/internal/ir"
 	"phloem/internal/passes"
+	"phloem/internal/pipeline"
+	"phloem/internal/verify"
 )
+
+// injectRogueCode plants a control code no consumer dispatches next to the
+// first control enqueue it finds. Used by -lint-inject to demonstrate what
+// a verifier failure looks like on otherwise-clean source.
+func injectRogueCode(pl *pipeline.Pipeline) {
+	for _, st := range pl.Stages {
+		for i, s := range st.Body {
+			if ec, ok := s.(*ir.EnqCtrl); ok {
+				rogue := &ir.EnqCtrl{Q: ec.Q, Code: arch.CtrlUser + 7}
+				st.Body = append(st.Body[:i:i], append([]ir.Stmt{rogue}, st.Body[i:]...)...)
+				return
+			}
+		}
+	}
+}
 
 func main() {
 	threads := flag.Int("threads", 4, "maximum pipeline threads (SMT width)")
 	passList := flag.String("passes", "all",
 		"comma-separated passes: Q (always on), R, RA, CV, CH, DCE, or 'all'")
 	dump := flag.Bool("dump", false, "print per-stage IR")
+	lint := flag.Bool("lint", false, "run the static pipeline verifier and print its report")
+	lintInject := flag.Bool("lint-inject", false,
+		"with -lint: inject a control-protocol violation first (demonstration)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: phloemc [flags] kernel.c")
@@ -59,6 +86,31 @@ func main() {
 			}
 		}
 		opt.Passes = p
+	}
+
+	if *lint {
+		// Lint compiles with verification deferred so the full report —
+		// warnings included — can be printed, rather than just the first
+		// batch of errors a rejected Compile would surface.
+		opt.SkipVerify = true
+		if *lintInject {
+			opt.PostBuild = injectRogueCode
+		}
+		res, err := core.CompileSource(string(src), opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phloemc:", err)
+			os.Exit(1)
+		}
+		rep := verify.Check(res.Pipeline)
+		if len(rep.Diags) == 0 {
+			fmt.Printf("%s: pipeline %s verifies clean\n", flag.Arg(0), rep.Pipeline)
+			return
+		}
+		fmt.Print(rep.String())
+		if rep.HasErrors() {
+			os.Exit(1)
+		}
+		return
 	}
 
 	res, err := core.CompileSource(string(src), opt)

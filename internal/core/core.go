@@ -16,6 +16,7 @@ import (
 	"phloem/internal/passes"
 	"phloem/internal/pipeline"
 	"phloem/internal/source"
+	"phloem/internal/verify"
 )
 
 // Mode selects the compilation flow of Fig. 8.
@@ -49,6 +50,14 @@ type Options struct {
 	MaxCandidates int
 	// Trace receives search progress lines (optional).
 	Trace func(format string, args ...any)
+	// SkipVerify disables the static pipeline verifier that otherwise
+	// rejects structurally broken pipelines before they reach a simulator
+	// (use it to inspect or lint a deliberately broken build).
+	SkipVerify bool
+	// PostBuild, when set, is applied to every built pipeline before it is
+	// verified or measured. It exists for fault injection in tests and for
+	// `phloemc -lint` demonstrations; production callers leave it nil.
+	PostBuild func(*pipeline.Pipeline)
 }
 
 // DefaultOptions returns an all-passes static compilation for the Table III
@@ -169,7 +178,29 @@ func buildStatic(p *ir.Prog, cands [][]*analysis.Candidate, opt Options) (*Resul
 	if err != nil {
 		return nil, err
 	}
+	if err := finishPipeline(pipe, opt); err != nil {
+		return nil, err
+	}
 	return &Result{Pipeline: pipe, Prog: p, ReplicateRequested: p.Replicate}, nil
+}
+
+// finishPipeline applies the PostBuild hook and, unless SkipVerify is set,
+// rejects pipelines the static verifier finds broken.
+func finishPipeline(pipe *pipeline.Pipeline, opt Options) error {
+	if opt.PostBuild != nil {
+		opt.PostBuild(pipe)
+	}
+	if opt.SkipVerify {
+		return nil
+	}
+	if rep := verify.Check(pipe); rep.HasErrors() {
+		msg := ""
+		for _, d := range rep.Errors() {
+			msg += "\n  " + d.String()
+		}
+		return fmt.Errorf("core: pipeline %q fails static verification:%s", pipe.Prog.Name, msg)
+	}
+	return nil
 }
 
 // autotune enumerates candidate point subsets per phase (from the
@@ -216,6 +247,10 @@ func autotune(p *ir.Prog, phases []*analysis.Phase, cands [][]*analysis.Candidat
 			pipe, err := passes.Build(p, points, opt.Passes, buildCfg(opt))
 			if err != nil {
 				continue // unsupported shape: skip this candidate
+			}
+			if err := finishPipeline(pipe, opt); err != nil {
+				trace("autotune: pipeline %v rejected by verifier: %v", subset, err)
+				continue
 			}
 			searched++
 			cycles, err := measure(pipe, opt)
@@ -281,6 +316,9 @@ func Search(p *ir.Prog, opt Options) ([]SearchPoint, error) {
 			points[pi] = analysis.OrderPoints(pts)
 			pipe, err := passes.Build(p, points, opt.Passes, buildCfg(opt))
 			if err != nil {
+				continue
+			}
+			if err := finishPipeline(pipe, opt); err != nil {
 				continue
 			}
 			cycles, err := measure(pipe, opt)

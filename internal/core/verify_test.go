@@ -1,0 +1,64 @@
+package core_test
+
+// Compile must reject pipelines the static verifier finds broken, and
+// Options.SkipVerify must be an effective escape hatch. Violations are
+// injected with Options.PostBuild, the same hook `phloemc -lint` uses for
+// its demonstration mode.
+
+import (
+	"strings"
+	"testing"
+
+	"phloem/internal/arch"
+	"phloem/internal/core"
+	"phloem/internal/ir"
+	"phloem/internal/pipeline"
+	"phloem/internal/workloads"
+)
+
+// injectRogueCode inserts an enq_ctrl with an application code no consumer
+// dispatches, next to the first control enqueue it finds: the consumer's
+// dispatch treats unknown codes as stream end, so the code would silently
+// truncate the stream mid-flight (rule C2).
+func injectRogueCode(pl *pipeline.Pipeline) {
+	for _, st := range pl.Stages {
+		for i, s := range st.Body {
+			if ec, ok := s.(*ir.EnqCtrl); ok {
+				rogue := &ir.EnqCtrl{Q: ec.Q, Code: arch.CtrlUser + 7}
+				st.Body = append(st.Body[:i:i], append([]ir.Stmt{rogue}, st.Body[i:]...)...)
+				return
+			}
+		}
+	}
+}
+
+func TestCompileRejectsInjectedProtocolViolation(t *testing.T) {
+	opt := core.DefaultOptions()
+	opt.PostBuild = injectRogueCode
+	_, err := core.CompileSource(workloads.BFSSource, opt)
+	if err == nil {
+		t.Fatal("Compile accepted a pipeline with stripped control markers")
+	}
+	if !strings.Contains(err.Error(), "static verification") {
+		t.Fatalf("error should come from the verifier, got: %v", err)
+	}
+}
+
+func TestSkipVerifyEscapeHatch(t *testing.T) {
+	opt := core.DefaultOptions()
+	opt.PostBuild = injectRogueCode
+	opt.SkipVerify = true
+	res, err := core.CompileSource(workloads.BFSSource, opt)
+	if err != nil {
+		t.Fatalf("SkipVerify should let the broken pipeline through: %v", err)
+	}
+	if res.Pipeline == nil {
+		t.Fatal("no pipeline returned")
+	}
+}
+
+func TestCompileCleanStillPasses(t *testing.T) {
+	if _, err := core.CompileSource(workloads.BFSSource, core.DefaultOptions()); err != nil {
+		t.Fatalf("clean compile rejected: %v", err)
+	}
+}

@@ -132,6 +132,7 @@ func Build(p *ir.Prog, pointsPerPhase [][]*analysis.Candidate, opt Options, bc B
 		// connecting reference accelerators directly.
 		elideGlueStages(pipe)
 	}
+	compactQueues(pipe)
 	for s, st := range pipe.Stages {
 		st.Thread = arch.ThreadID{
 			Core:   bc.BaseCore + s/bc.ThreadsPerCore,

@@ -185,33 +185,78 @@ func glueIfBody(body []ir.Stmt, outQ *int) bool {
 
 // substQueue rewrites queue references from old to new in a statement tree.
 func substQueue(body []ir.Stmt, old, new int) {
-	fix := func(q *int) {
+	walkQueueRefs(body, func(q *int) {
 		if *q == old {
 			*q = new
 		}
-	}
-	var walk func(list []ir.Stmt)
-	walk = func(list []ir.Stmt) {
-		for _, s := range list {
-			switch s := s.(type) {
-			case *ir.Assign:
-				if d, ok := s.Src.(*ir.RvalDeq); ok {
-					fix(&d.Q)
-				}
-			case *ir.Enq:
-				fix(&s.Q)
-			case *ir.EnqCtrl:
-				fix(&s.Q)
-			case *ir.SetHandler:
-				fix(&s.Q)
-			case *ir.If:
-				walk(s.Then)
-				walk(s.Else)
-			case *ir.Loop:
-				walk(s.Pre)
-				walk(s.Body)
+	})
+}
+
+// walkQueueRefs visits every queue-id reference in a statement tree.
+func walkQueueRefs(body []ir.Stmt, fix func(q *int)) {
+	for _, s := range body {
+		switch s := s.(type) {
+		case *ir.Assign:
+			if d, ok := s.Src.(*ir.RvalDeq); ok {
+				fix(&d.Q)
 			}
+		case *ir.Enq:
+			fix(&s.Q)
+		case *ir.EnqCtrl:
+			fix(&s.Q)
+		case *ir.SetHandler:
+			fix(&s.Q)
+		case *ir.If:
+			walkQueueRefs(s.Then, fix)
+			walkQueueRefs(s.Else, fix)
+		case *ir.Loop:
+			walkQueueRefs(s.Pre, fix)
+			walkQueueRefs(s.Body, fix)
 		}
 	}
-	walk(body)
+}
+
+// compactQueues drops queue declarations that nothing references and
+// renumbers the survivors densely, rewriting stage bodies and RA endpoints.
+// Glue-stage elision substitutes consumers onto upstream queues, which can
+// orphan the elided stage's old input queue; a dead declaration wastes one
+// of the machine's 16 architectural queues and reads as a phantom endpoint
+// in reports.
+func compactQueues(pipe *pipeline.Pipeline) {
+	used := make([]bool, len(pipe.Queues))
+	mark := func(q *int) {
+		if *q >= 0 && *q < len(used) {
+			used[*q] = true
+		}
+	}
+	for _, st := range pipe.Stages {
+		walkQueueRefs(st.Body, mark)
+	}
+	for i := range pipe.RAs {
+		mark(&pipe.RAs[i].InQ)
+		mark(&pipe.RAs[i].OutQ)
+	}
+
+	remap := make([]int, len(pipe.Queues))
+	kept := pipe.Queues[:0]
+	for q, u := range used {
+		if u {
+			remap[q] = len(kept)
+			kept = append(kept, pipe.Queues[q])
+		} else {
+			remap[q] = -1
+		}
+	}
+	if len(kept) == len(remap) {
+		return // nothing dead
+	}
+	pipe.Queues = kept
+	renumber := func(q *int) { *q = remap[*q] }
+	for _, st := range pipe.Stages {
+		walkQueueRefs(st.Body, renumber)
+	}
+	for i := range pipe.RAs {
+		renumber(&pipe.RAs[i].InQ)
+		renumber(&pipe.RAs[i].OutQ)
+	}
 }

@@ -95,6 +95,13 @@ func (pl *Pipeline) DumpStages() string {
 	return sb.String()
 }
 
+// FlattenStage lowers one stage to its flat ISA program exactly the way
+// Instantiate does (optimize then flatten). The static verifier uses this so
+// that it analyzes the same programs the simulator would run.
+func FlattenStage(pl *Pipeline, st *Stage) (*isa.Program, error) {
+	return lower.Flatten(pl.Prog, st.Name, ir.Optimize(pl.Prog, st.Body))
+}
+
 // Bindings supplies concrete data for a pipeline run. Array contents are
 // copied into the simulated address space at Instantiate time; results are
 // read back from the Instance.
@@ -169,7 +176,7 @@ func Instantiate(pl *Pipeline, cfg arch.Config, b Bindings) (*Instance, error) {
 	}
 
 	for _, st := range pl.Stages {
-		prog, err := lower.Flatten(pl.Prog, st.Name, ir.Optimize(pl.Prog, st.Body))
+		prog, err := FlattenStage(pl, st)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: flatten %s: %w", st.Name, err)
 		}

@@ -1,0 +1,92 @@
+package source
+
+// Negative-path coverage for Check with exact error positions: the verifier
+// and the compiler driver both surface these messages to users, so the line
+// numbers must point at the offending declaration or use, not at the
+// function header or end of file.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCheckErrorPositions(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		wantLine int
+		wantMsg  string
+	}{
+		{
+			name: "non-restrict array under pragma phloem",
+			src: `#pragma phloem
+void k(int* restrict a,
+       int* b,
+       int n) {
+  b[0] = a[0];
+}`,
+			wantLine: 3,
+			wantMsg:  `array parameter "b" must be restrict-qualified`,
+		},
+		{
+			name: "redeclaration in same scope",
+			src: `void k(int n) {
+  int x = 1;
+  int y = 2;
+  int x = 3;
+}`,
+			wantLine: 4,
+			wantMsg:  `redeclaration of "x" in the same scope`,
+		},
+		{
+			name: "undeclared identifier",
+			src: `void k(int n) {
+  int x = 1;
+  x = x + missing;
+}`,
+			wantLine: 3,
+			wantMsg:  `undefined identifier "missing"`,
+		},
+		{
+			name: "kind-mismatched declaration",
+			src: `void k(int n, float f) {
+  int a = n;
+  int x = f;
+}`,
+			wantLine: 3,
+			wantMsg:  "cannot assign float to int without an explicit cast",
+		},
+		{
+			name: "kind-mismatched assignment",
+			src: `void k(int n, float f) {
+  float acc = 0.0;
+  acc = n;
+}`,
+			wantLine: 3,
+			wantMsg:  "cannot assign int to float without an explicit cast",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			fn, err := Parse(c.src)
+			if err != nil {
+				t.Fatalf("parse should succeed (Check owns this rejection): %v", err)
+			}
+			err = Check(fn)
+			if err == nil {
+				t.Fatal("Check accepted an invalid kernel")
+			}
+			var se *Error
+			if !errors.As(err, &se) {
+				t.Fatalf("Check should return a *source.Error, got %T: %v", err, err)
+			}
+			if se.Line != c.wantLine {
+				t.Errorf("error on line %d, want line %d (%v)", se.Line, c.wantLine, err)
+			}
+			if !strings.Contains(se.Msg, c.wantMsg) {
+				t.Errorf("error %q should contain %q", se.Msg, c.wantMsg)
+			}
+		})
+	}
+}

@@ -1,0 +1,437 @@
+package verify_test
+
+// Per-rule unit tests: each rule family gets at least one pipeline that
+// passes clean and one deliberately broken pipeline caught with the correct
+// rule id. Fixtures are built directly in IR, the same way the manual
+// workload pipelines are.
+
+import (
+	"strings"
+	"testing"
+
+	"phloem/internal/arch"
+	"phloem/internal/ir"
+	"phloem/internal/pipeline"
+	"phloem/internal/verify"
+)
+
+type fx struct {
+	p    *ir.Prog
+	pipe *pipeline.Pipeline
+}
+
+func newFx(name string) *fx {
+	p := &ir.Prog{Name: name}
+	return &fx{p: p, pipe: &pipeline.Pipeline{Prog: p, Description: "test fixture"}}
+}
+
+func (f *fx) v(name string, k ir.Kind) ir.Var { return f.p.NewVar(name, k) }
+
+func (f *fx) slot(name string, k ir.Kind) int {
+	f.p.Slots = append(f.p.Slots, ir.SlotInfo{Name: name, Kind: k})
+	return len(f.p.Slots) - 1
+}
+
+func (f *fx) stage(name string, body ...ir.Stmt) {
+	f.pipe.Stages = append(f.pipe.Stages, &pipeline.Stage{
+		Name: name, Body: body,
+		Thread: arch.ThreadID{Core: 0, Thread: len(f.pipe.Stages)},
+	})
+}
+
+func assign(dst ir.Var, r ir.Rval) ir.Stmt { return &ir.Assign{Dst: dst, Src: r} }
+func mov(dst ir.Var, o ir.Operand) ir.Stmt {
+	return &ir.Assign{Dst: dst, Src: &ir.RvalUn{Op: ir.OpMov, A: o}}
+}
+func bin(dst ir.Var, op ir.BinOp, a, b ir.Operand) ir.Stmt {
+	return &ir.Assign{Dst: dst, Src: &ir.RvalBin{Op: op, A: a, B: b}}
+}
+func deq(dst ir.Var, q int) ir.Stmt { return &ir.Assign{Dst: dst, Src: &ir.RvalDeq{Q: q}} }
+func isctrl(dst ir.Var, o ir.Operand) ir.Stmt {
+	return &ir.Assign{Dst: dst, Src: &ir.RvalUn{Op: ir.OpIsCtrl, A: o}}
+}
+func ctrlcode(dst ir.Var, o ir.Operand) ir.Stmt {
+	return &ir.Assign{Dst: dst, Src: &ir.RvalUn{Op: ir.OpCtrlCode, A: o}}
+}
+
+// countedEnqs builds "for i in [0,4): enq(q, i)".
+func (f *fx) countedEnqs(q int) []ir.Stmt {
+	i := f.v("i", ir.KInt)
+	cond := f.v("cond", ir.KInt)
+	return []ir.Stmt{
+		mov(i, ir.C(0)),
+		&ir.Loop{ID: 90,
+			Pre:  []ir.Stmt{bin(cond, ir.OpLT, ir.V(i), ir.C(4))},
+			Cond: ir.V(cond),
+			Body: []ir.Stmt{
+				&ir.Enq{Q: q, Val: ir.V(i)},
+				bin(i, ir.OpAdd, ir.V(i), ir.C(1)),
+			},
+		},
+		&ir.EnqCtrl{Q: q, Code: arch.CtrlEnd},
+	}
+}
+
+// drainLoop builds "probe: x = deq(q); if is_ctrl(x) goto done; store
+// out[x] = x; goto probe; done:" — the minimal protocol-correct consumer.
+func (f *fx) drainLoop(q, out int) []ir.Stmt {
+	x := f.v("x", ir.KInt)
+	t := f.v("t", ir.KInt)
+	return []ir.Stmt{
+		&ir.Label{Name: "probe"},
+		deq(x, q),
+		isctrl(t, ir.V(x)),
+		&ir.If{Cond: ir.V(t), Then: []ir.Stmt{&ir.Goto{Name: "done"}}},
+		&ir.Store{Slot: out, Idx: ir.V(x), Val: ir.V(x)},
+		&ir.Goto{Name: "probe"},
+		&ir.Label{Name: "done"},
+	}
+}
+
+func rules(rep *verify.Report) []string {
+	var out []string
+	for _, d := range rep.Diags {
+		out = append(out, d.Rule)
+	}
+	return out
+}
+
+func requireRule(t *testing.T, rep *verify.Report, rule string, sev verify.Severity) verify.Diag {
+	t.Helper()
+	for _, d := range rep.Diags {
+		if d.Rule == rule && d.Sev == sev {
+			return d
+		}
+	}
+	t.Fatalf("expected %s %s diagnostic, got %v:\n%s", sev, rule, rules(rep), rep.String())
+	return verify.Diag{}
+}
+
+func requireNoRule(t *testing.T, rep *verify.Report, rule string) {
+	t.Helper()
+	for _, d := range rep.Diags {
+		if d.Rule == rule {
+			t.Fatalf("unexpected %s diagnostic:\n%s", rule, rep.String())
+		}
+	}
+}
+
+func requireClean(t *testing.T, rep *verify.Report) {
+	t.Helper()
+	if len(rep.Diags) != 0 {
+		t.Fatalf("expected a clean report, got:\n%s", rep.String())
+	}
+}
+
+// cleanPipe is the shared passing fixture: counted producer, protocol-correct
+// consumer, one output array.
+func cleanPipe() *fx {
+	f := newFx("clean")
+	out := f.slot("out", ir.KInt)
+	q := f.pipe.AddQueue("data")
+	f.stage("clean.produce", f.countedEnqs(q)...)
+	f.stage("clean.consume", f.drainLoop(q, out)...)
+	return f
+}
+
+func TestCleanPipelinePasses(t *testing.T) {
+	requireClean(t, verify.Check(cleanPipe().pipe))
+}
+
+func TestQ1MultipleConsumers(t *testing.T) {
+	f := cleanPipe()
+	out2 := f.slot("out2", ir.KInt)
+	q := 0
+	f.stage("clean.consume2", f.drainLoop(q, out2)...)
+	d := requireRule(t, verify.Check(f.pipe), "Q1", verify.SevError)
+	if d.Queue != q {
+		t.Fatalf("Q1 on queue %d, want %d", d.Queue, q)
+	}
+}
+
+func TestQ2RASelfLoop(t *testing.T) {
+	f := cleanPipe()
+	base := f.slot("base", ir.KInt)
+	q := f.pipe.AddQueue("loopback")
+	f.pipe.RAs = append(f.pipe.RAs, arch.RASpec{
+		Name: "ind.self", Mode: arch.RAIndirect, Slot: base, InQ: q, OutQ: q,
+	})
+	requireRule(t, verify.Check(f.pipe), "Q2", verify.SevError)
+}
+
+func TestQ2StageSelfLoop(t *testing.T) {
+	f := newFx("selfloop")
+	q := f.pipe.AddQueue("buffer")
+	x := f.v("x", ir.KInt)
+	f.stage("selfloop.s0",
+		&ir.Enq{Q: q, Val: ir.C(1)},
+		deq(x, q),
+	)
+	requireRule(t, verify.Check(f.pipe), "Q2", verify.SevWarning)
+}
+
+func TestQ3StartupDeadlock(t *testing.T) {
+	f := newFx("deadlock")
+	out := f.slot("out", ir.KInt)
+	q0 := f.pipe.AddQueue("a2b")
+	q1 := f.pipe.AddQueue("b2a")
+	// Stage A: x = deq(b2a) ... enq(a2b, x): must block on b2a first.
+	a := f.v("a", ir.KInt)
+	at := f.v("at", ir.KInt)
+	f.stage("deadlock.a",
+		&ir.Label{Name: "probe"},
+		deq(a, q1),
+		isctrl(at, ir.V(a)),
+		&ir.If{Cond: ir.V(at), Then: []ir.Stmt{&ir.Goto{Name: "done"}}},
+		&ir.Enq{Q: q0, Val: ir.V(a)},
+		&ir.Goto{Name: "probe"},
+		&ir.Label{Name: "done"},
+	)
+	// Stage B mirrors it: both sides wait for the other's first value.
+	b := f.v("b", ir.KInt)
+	bt := f.v("bt", ir.KInt)
+	f.stage("deadlock.b",
+		&ir.Label{Name: "probe"},
+		deq(b, q0),
+		isctrl(bt, ir.V(b)),
+		&ir.If{Cond: ir.V(bt), Then: []ir.Stmt{&ir.Goto{Name: "done"}}},
+		&ir.Store{Slot: out, Idx: ir.V(b), Val: ir.V(b)},
+		&ir.Enq{Q: q1, Val: ir.V(b)},
+		&ir.Goto{Name: "probe"},
+		&ir.Label{Name: "done"},
+	)
+	d := requireRule(t, verify.Check(f.pipe), "Q3", verify.SevError)
+	if !strings.Contains(d.Msg, "waits on") {
+		t.Fatalf("Q3 message should describe the cycle, got %q", d.Msg)
+	}
+}
+
+func TestQ3FeedbackLoopIsLegal(t *testing.T) {
+	// BFS-shaped feedback: A seeds a2b before ever consuming b2a, so the
+	// cycle in the queue graph is not a startup deadlock.
+	f := newFx("feedback")
+	out := f.slot("out", ir.KInt)
+	q0 := f.pipe.AddQueue("a2b")
+	q1 := f.pipe.AddQueue("b2a")
+	a := f.v("a", ir.KInt)
+	at := f.v("at", ir.KInt)
+	f.stage("feedback.a",
+		&ir.Enq{Q: q0, Val: ir.C(0)}, // seed value
+		&ir.Label{Name: "probe"},
+		deq(a, q1),
+		isctrl(at, ir.V(a)),
+		&ir.If{Cond: ir.V(at), Then: []ir.Stmt{&ir.Goto{Name: "done"}}},
+		&ir.Enq{Q: q0, Val: ir.V(a)},
+		&ir.Goto{Name: "probe"},
+		&ir.Label{Name: "done"},
+	)
+	b := f.v("b", ir.KInt)
+	bt := f.v("bt", ir.KInt)
+	blt := f.v("blt", ir.KInt)
+	f.stage("feedback.b",
+		&ir.Label{Name: "probe"},
+		deq(b, q0),
+		isctrl(bt, ir.V(b)),
+		&ir.If{Cond: ir.V(bt), Then: []ir.Stmt{&ir.Goto{Name: "done"}}},
+		&ir.Store{Slot: out, Idx: ir.V(b), Val: ir.V(b)},
+		bin(blt, ir.OpLT, ir.V(b), ir.C(8)),
+		&ir.If{Cond: ir.V(blt), Then: []ir.Stmt{
+			bin(b, ir.OpAdd, ir.V(b), ir.C(1)),
+			&ir.Enq{Q: q1, Val: ir.V(b)},
+		}, Else: []ir.Stmt{
+			&ir.EnqCtrl{Q: q1, Code: arch.CtrlEnd},
+		}},
+		&ir.Goto{Name: "probe"},
+		&ir.Label{Name: "done"},
+	)
+	rep := verify.Check(f.pipe)
+	requireNoRule(t, rep, "Q3")
+	if rep.HasErrors() {
+		t.Fatalf("feedback pipeline should verify without errors:\n%s", rep.String())
+	}
+}
+
+func TestC1ConsumerIgnoresControl(t *testing.T) {
+	f := newFx("noctrl")
+	out := f.slot("out", ir.KInt)
+	q := f.pipe.AddQueue("data")
+	f.stage("noctrl.produce", f.countedEnqs(q)...)
+	// Consumer dequeues a bounded count with no is_ctrl test and no handler:
+	// the CtrlEnd marker would be consumed as data.
+	x := f.v("x", ir.KInt)
+	i := f.v("i", ir.KInt)
+	cond := f.v("cond", ir.KInt)
+	f.stage("noctrl.consume",
+		mov(i, ir.C(0)),
+		&ir.Loop{ID: 91,
+			Pre:  []ir.Stmt{bin(cond, ir.OpLT, ir.V(i), ir.C(5))},
+			Cond: ir.V(cond),
+			Body: []ir.Stmt{
+				deq(x, q),
+				&ir.Store{Slot: out, Idx: ir.V(x), Val: ir.V(x)},
+				bin(i, ir.OpAdd, ir.V(i), ir.C(1)),
+			},
+		},
+	)
+	d := requireRule(t, verify.Check(f.pipe), "C1", verify.SevError)
+	if d.Stage != "noctrl.consume" {
+		t.Fatalf("C1 attributed to %q, want the consumer stage", d.Stage)
+	}
+}
+
+const fixtureCode int64 = arch.CtrlUser + 5
+
+// dispatchConsumer consumes q, dispatching control codes: `code` continues
+// the loop, anything else (CtrlEnd) exits.
+func (f *fx) dispatchConsumer(q, out int, code int64) []ir.Stmt {
+	x := f.v("x", ir.KInt)
+	t := f.v("t", ir.KInt)
+	c := f.v("c", ir.KInt)
+	e := f.v("e", ir.KInt)
+	return []ir.Stmt{
+		&ir.Label{Name: "probe"},
+		deq(x, q),
+		isctrl(t, ir.V(x)),
+		&ir.If{Cond: ir.V(t), Then: []ir.Stmt{
+			ctrlcode(c, ir.V(x)),
+			bin(e, ir.OpEQ, ir.V(c), ir.C(code)),
+			&ir.If{Cond: ir.V(e), Then: []ir.Stmt{&ir.Goto{Name: "probe"}}},
+			&ir.Goto{Name: "done"},
+		}},
+		&ir.Store{Slot: out, Idx: ir.V(x), Val: ir.V(x)},
+		&ir.Goto{Name: "probe"},
+		&ir.Label{Name: "done"},
+	}
+}
+
+func TestC2C3DispatchMatchesProtocol(t *testing.T) {
+	// Passing case: producer sends fixtureCode and CtrlEnd; consumer
+	// dispatches fixtureCode and lets CtrlEnd fall through to done.
+	f := newFx("dispatch")
+	out := f.slot("out", ir.KInt)
+	q := f.pipe.AddQueue("data")
+	body := f.countedEnqs(q)
+	body = append([]ir.Stmt{&ir.EnqCtrl{Q: q, Code: fixtureCode}}, body...)
+	f.stage("dispatch.produce", body...)
+	f.stage("dispatch.consume", f.dispatchConsumer(q, out, fixtureCode)...)
+	requireClean(t, verify.Check(f.pipe))
+}
+
+func TestC2UndispatchedCodeAndC3DeadArm(t *testing.T) {
+	// Broken case: producer sends fixtureCode but the consumer dispatches a
+	// different code — the sent code silently truncates the stream (C2) and
+	// the dispatch arm is dead (C3).
+	f := newFx("mismatch")
+	out := f.slot("out", ir.KInt)
+	q := f.pipe.AddQueue("data")
+	body := f.countedEnqs(q)
+	body = append([]ir.Stmt{&ir.EnqCtrl{Q: q, Code: fixtureCode}}, body...)
+	f.stage("mismatch.produce", body...)
+	f.stage("mismatch.consume", f.dispatchConsumer(q, out, fixtureCode+1)...)
+	rep := verify.Check(f.pipe)
+	requireRule(t, rep, "C2", verify.SevError)
+	requireRule(t, rep, "C3", verify.SevWarning)
+}
+
+func TestD1ReadNeverWritten(t *testing.T) {
+	f := newFx("undef")
+	out := f.slot("out", ir.KInt)
+	u := f.v("u", ir.KInt)
+	y := f.v("y", ir.KInt)
+	f.stage("undef.s0",
+		bin(y, ir.OpAdd, ir.V(u), ir.C(1)),
+		&ir.Store{Slot: out, Idx: ir.C(0), Val: ir.V(y)},
+	)
+	d := requireRule(t, verify.Check(f.pipe), "D1", verify.SevError)
+	if !strings.Contains(d.Msg, `"u"`) {
+		t.Fatalf("D1 should name the variable, got %q", d.Msg)
+	}
+}
+
+func TestD1ScalarParamIsDefined(t *testing.T) {
+	f := newFx("param")
+	out := f.slot("out", ir.KInt)
+	n := f.v("n", ir.KInt)
+	f.p.Vars[n].Param = true
+	f.p.ScalarParams = []ir.Var{n}
+	f.stage("param.s0", &ir.Store{Slot: out, Idx: ir.C(0), Val: ir.V(n)})
+	requireClean(t, verify.Check(f.pipe))
+}
+
+func TestD2KindMismatch(t *testing.T) {
+	f := newFx("kinds")
+	out := f.slot("out", ir.KFloat)
+	fv := f.v("fv", ir.KFloat)
+	y := f.v("y", ir.KInt)
+	f.stage("kinds.s0",
+		mov(fv, ir.C(0)), // int 0 bits are float 0.0: legal
+		// Integer add on a float variable: the bit patterns are garbage.
+		bin(y, ir.OpAdd, ir.V(fv), ir.C(1)),
+		&ir.Store{Slot: out, Idx: ir.V(y), Val: ir.V(fv)},
+	)
+	requireRule(t, verify.Check(f.pipe), "D2", verify.SevError)
+}
+
+func TestD4UnreachableCode(t *testing.T) {
+	f := newFx("dead")
+	out := f.slot("out", ir.KInt)
+	f.stage("dead.s0",
+		&ir.Goto{Name: "end"},
+		&ir.Store{Slot: out, Idx: ir.C(0), Val: ir.C(1)},
+		&ir.Label{Name: "end"},
+	)
+	requireRule(t, verify.Check(f.pipe), "D4", verify.SevWarning)
+}
+
+func TestD5NoReachableHalt(t *testing.T) {
+	f := newFx("spin")
+	f.stage("spin.s0",
+		&ir.Label{Name: "top"},
+		&ir.Goto{Name: "top"},
+	)
+	requireRule(t, verify.Check(f.pipe), "D5", verify.SevError)
+}
+
+func TestL1DeclaredNeverUsed(t *testing.T) {
+	f := cleanPipe()
+	f.pipe.AddQueue("orphan")
+	d := requireRule(t, verify.Check(f.pipe), "L1", verify.SevWarning)
+	if d.QueueName != "orphan" {
+		t.Fatalf("L1 on queue %q, want orphan", d.QueueName)
+	}
+}
+
+func TestL2EnqueuedNeverDequeued(t *testing.T) {
+	f := newFx("noconsumer")
+	q := f.pipe.AddQueue("data")
+	f.stage("noconsumer.produce", f.countedEnqs(q)...)
+	requireRule(t, verify.Check(f.pipe), "L2", verify.SevError)
+}
+
+func TestL3DequeuedNeverProduced(t *testing.T) {
+	f := newFx("noproducer")
+	out := f.slot("out", ir.KInt)
+	q := f.pipe.AddQueue("data")
+	f.stage("noproducer.consume", f.drainLoop(q, out)...)
+	requireRule(t, verify.Check(f.pipe), "L3", verify.SevError)
+}
+
+func TestL4KindDisagreement(t *testing.T) {
+	f := newFx("qkinds")
+	out := f.slot("out", ir.KInt)
+	q := f.pipe.AddQueue("data")
+	fv := f.v("fv", ir.KFloat)
+	f.stage("qkinds.produce",
+		&ir.Assign{Dst: fv, Src: &ir.RvalUn{Op: ir.OpMov, Float: true, A: ir.C(0)}},
+		&ir.Enq{Q: q, Val: ir.V(fv)},
+		&ir.EnqCtrl{Q: q, Code: arch.CtrlEnd},
+	)
+	f.stage("qkinds.consume", f.drainLoop(q, out)...)
+	requireRule(t, verify.Check(f.pipe), "L4", verify.SevWarning)
+}
+
+func TestD0StageFailsToLower(t *testing.T) {
+	f := newFx("broken")
+	f.stage("broken.s0", &ir.Goto{Name: "nowhere"})
+	requireRule(t, verify.Check(f.pipe), "D0", verify.SevError)
+}

@@ -1,0 +1,119 @@
+package verify_test
+
+// Every pipeline the project can build — serial, every pass-ablation level,
+// autotuned defaults, hand-pipelined, data-parallel, replicated, and all
+// Taco-emitted kernels — must verify without errors. Warnings are also
+// rejected here: the generated pipelines are expected to be pristine, and a
+// new warning on them means either a pass regressed or a rule needs a
+// documented exemption.
+
+import (
+	"testing"
+
+	"phloem/internal/core"
+	"phloem/internal/lower"
+	"phloem/internal/passes"
+	"phloem/internal/pipeline"
+	"phloem/internal/source"
+	"phloem/internal/taco"
+	"phloem/internal/verify"
+	"phloem/internal/workloads"
+)
+
+func mustVerifyClean(t *testing.T, what string, pl *pipeline.Pipeline) {
+	t.Helper()
+	if rep := verify.Check(pl); len(rep.Diags) != 0 {
+		t.Errorf("%s: verifier not clean:\n%s", what, rep.String())
+	}
+}
+
+func compileVariant(t *testing.T, src string, po passes.Options, ablate bool) *pipeline.Pipeline {
+	t.Helper()
+	res, err := core.CompileSource(src, core.Options{Passes: po, EnableAblation: ablate})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return res.Pipeline
+}
+
+var passConfigs = []struct {
+	name   string
+	po     passes.Options
+	ablate bool
+}{
+	{"none", passes.Options{}, true},
+	{"recompute", passes.Options{Recompute: true}, true},
+	{"ctrl", passes.Options{Recompute: true, CtrlValues: true}, true},
+	{"dce", passes.Options{Recompute: true, CtrlValues: true, InterstageDCE: true, Handlers: true}, true},
+	{"default", passes.Default(), false},
+}
+
+func TestAllWorkloadVariantsVerifyClean(t *testing.T) {
+	for _, bm := range workloads.Benchmarks(workloads.ScaleTest) {
+		for _, pc := range passConfigs {
+			pl := compileVariant(t, bm.SerialSource, pc.po, pc.ablate)
+			mustVerifyClean(t, bm.Name+"/"+pc.name, pl)
+		}
+		fn, err := source.Parse(bm.SerialSource)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := source.Check(fn); err != nil {
+			t.Fatal(err)
+		}
+		p, err := lower.FromAST(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustVerifyClean(t, bm.Name+"/serial", pipeline.NewSerial(p))
+		if bm.Manual != nil {
+			pl, err := bm.Manual()
+			if err != nil {
+				t.Fatalf("manual %s: %v", bm.Name, err)
+			}
+			mustVerifyClean(t, bm.Name+"/manual", pl)
+		}
+		if bm.DPSource != "" {
+			dp, err := workloads.BuildDataParallel(bm.DPSource, 4, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustVerifyClean(t, bm.Name+"/dp", dp)
+		}
+	}
+}
+
+func TestReplicatedPipelineVerifiesClean(t *testing.T) {
+	bfs, err := workloads.ByName(workloads.ScaleTest, "BFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.CompileSource(bfs.SerialSource, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl, err := pipeline.Replicate(res.Pipeline, 3, []string{"nodes", "edges"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustVerifyClean(t, "bfs/replicated", repl)
+}
+
+func TestTacoKernelsVerifyClean(t *testing.T) {
+	for _, k := range taco.Kernels() {
+		src, err := taco.Emit(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustVerifyClean(t, "taco/"+string(k), compileVariant(t, src, passes.Default(), false))
+		dpSrc, err := taco.EmitDP(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := workloads.BuildDataParallel(dpSrc, 4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustVerifyClean(t, "taco-dp/"+string(k), dp)
+	}
+}
