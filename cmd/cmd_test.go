@@ -3,6 +3,7 @@
 package cmd_test
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -125,6 +126,52 @@ func TestPhloemsimRunsBFS(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("phloemsim output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestPhloemsimExitCodes drives the guardrail demo flags and asserts the
+// documented exit-code contract: 0 success, 1 deadlock/other, 2 budget
+// exceeded, 3 functional trap.
+func TestPhloemsimExitCodes(t *testing.T) {
+	exitCode := func(args ...string) (int, string) {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(binDir, "phloemsim"), args...)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return 0, string(out)
+		}
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("phloemsim %v: %v\n%s", args, err, out)
+		}
+		return ee.ExitCode(), string(out)
+	}
+
+	if code, out := exitCode("-bench", "BFS", "-input", "road-ny", "-faults", "kitchen-sink"); code != 0 {
+		t.Errorf("faulted run should still succeed (results are timing-independent), exit %d:\n%s", code, out)
+	}
+	if code, out := exitCode("-bench", "BFS", "-input", "road-ny", "-cycle-budget", "1000"); code != 2 {
+		t.Errorf("budget abort: exit %d, want 2:\n%s", code, out)
+	}
+	code, out := exitCode("-bench", "BFS", "-input", "road-ny", "-inject", "deadlock")
+	if code != 1 {
+		t.Errorf("deadlock: exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "injected_dead") {
+		t.Errorf("deadlock report should name the blocking queue:\n%s", out)
+	}
+	if code, out := exitCode("-bench", "BFS", "-input", "road-ny", "-inject", "trap"); code != 3 {
+		t.Errorf("trap: exit %d, want 3:\n%s", code, out)
+	}
+	if code, _ := exitCode("-bench", "BFS", "-faults", "no-such-plan"); code != 1 {
+		t.Errorf("unknown fault plan: exit %d, want 1", code)
+	}
+}
+
+func TestPhloembenchChaos(t *testing.T) {
+	out := run(t, "phloembench", "-exp", "chaos", "-chaos-seeds", "0")
+	if !strings.Contains(out, "all results identical") {
+		t.Errorf("chaos output:\n%s", out)
 	}
 }
 

@@ -18,9 +18,10 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: table3|table4|table5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|ablations|all")
+		"experiment: table3|table4|table5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|ablations|chaos|all")
 	scale := flag.String("scale", "test", "input scale: test|full")
 	verbose := flag.Bool("v", false, "print per-input rows")
+	chaosSeeds := flag.Int("chaos-seeds", 4, "seeded fault plans to add to the chaos sweep (beyond the named plans)")
 	flag.Parse()
 
 	cfg := bench.Config{Scale: workloads.ScaleTest, Out: os.Stdout, Verbose: *verbose}
@@ -64,6 +65,8 @@ func main() {
 			return bench.Fig14(cfg)
 		case "ablations":
 			return bench.Ablations(cfg)
+		case "chaos":
+			return bench.Chaos(cfg, *chaosSeeds)
 		case "all":
 			return bench.All(cfg)
 		default:

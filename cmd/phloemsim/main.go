@@ -5,28 +5,80 @@
 // Usage:
 //
 //	phloemsim -bench BFS -input road
+//	phloemsim -bench BFS -faults kitchen-sink   # chaos plan, results must match
+//	phloemsim -bench BFS -cycle-budget 1000     # guardrail demo, exits 2
+//	phloemsim -bench BFS -inject deadlock       # guardrail demo, exits 1
+//
+// Exit codes: 0 success, 1 compile failure/deadlock/any other error,
+// 2 cycle or trace budget exceeded, 3 functional trap.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"phloem/internal/arch"
 	"phloem/internal/core"
+	"phloem/internal/fault"
+	"phloem/internal/ir"
 	"phloem/internal/pipeline"
+	"phloem/internal/sim"
 	"phloem/internal/workloads"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// exitCode maps a failure onto the documented exit codes using the
+// simulator's sentinel error classes.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, sim.ErrCycleBudget), errors.Is(err, sim.ErrTraceLimit):
+		return 2
+	case errors.Is(err, sim.ErrTrap):
+		return 3
+	default:
+		return 1
+	}
+}
+
+// injectDeadlock adds a dequeue from a fresh queue no stage feeds, so the
+// pipeline blocks forever and the simulator's deadlock guardrail fires.
+func injectDeadlock(pl *pipeline.Pipeline) {
+	q := len(pl.Queues)
+	pl.Queues = append(pl.Queues, pipeline.Queue{Name: "injected_dead"})
+	v := pl.Prog.NewVar("injected_dead", ir.KInt)
+	st := pl.Stages[0]
+	st.Body = append([]ir.Stmt{&ir.Assign{Dst: v, Src: &ir.RvalDeq{Q: q}}}, st.Body...)
+}
+
+// injectTrap adds an out-of-bounds store, tripping a functional trap.
+func injectTrap(pl *pipeline.Pipeline) {
+	st := pl.Stages[0]
+	st.Body = append([]ir.Stmt{
+		&ir.Store{StoreID: 1 << 20, Slot: 0, Idx: ir.C(-1), Val: ir.C(0)},
+	}, st.Body...)
+}
+
+func run() int {
 	benchName := flag.String("bench", "BFS", "benchmark: BFS|CC|PRD|Radii|SpMM")
 	inputName := flag.String("input", "", "input name (default: the road-like test input)")
+	cycleBudget := flag.Uint64("cycle-budget", 0, "abort any run past this many cycles (exit code 2)")
+	faultPlan := flag.String("faults", "", "timing-fault plan: a named plan or seed-N (results must still match)")
+	inject := flag.String("inject", "", "sabotage the pipeline to demo guardrails: deadlock|trap")
 	flag.Parse()
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "phloemsim:", err)
+		return exitCode(err)
+	}
 
 	bench, err := workloads.ByName(workloads.ScaleTest, *benchName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "phloemsim:", err)
-		os.Exit(1)
+		return fail(err)
 	}
 	in := bench.Test[len(bench.Test)-1]
 	if *inputName != "" {
@@ -37,42 +89,62 @@ func main() {
 			}
 		}
 		if in == nil {
-			fmt.Fprintf(os.Stderr, "phloemsim: unknown input %q\n", *inputName)
-			os.Exit(1)
+			return fail(fmt.Errorf("unknown input %q", *inputName))
 		}
+	}
+	var plan fault.Plan
+	if *faultPlan != "" {
+		if plan, err = fault.ByName(*faultPlan); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("fault plan: %s\n", plan)
+	}
+	opt := core.DefaultOptions()
+	switch *inject {
+	case "":
+	case "deadlock":
+		opt.PostBuild, opt.SkipVerify = injectDeadlock, true
+	case "trap":
+		opt.PostBuild, opt.SkipVerify = injectTrap, true
+	default:
+		return fail(fmt.Errorf("unknown -inject mode %q (deadlock|trap)", *inject))
 	}
 
 	serialProg, err := workloads.CompileSerial(bench.SerialSource)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "phloemsim:", err)
-		os.Exit(1)
+		return fail(err)
 	}
-	run := func(name string, p *pipeline.Pipeline) uint64 {
+	runPipe := func(name string, p *pipeline.Pipeline) (uint64, error) {
 		inst, err := pipeline.Instantiate(p, arch.DefaultConfig(1), in.Bind())
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "phloemsim: %s: %v\n", name, err)
-			os.Exit(1)
+			return 0, fmt.Errorf("%s: %w", name, err)
 		}
+		plan.Apply(inst.Machine)
+		inst.Machine.Cfg.CycleBudget = *cycleBudget
 		st, err := inst.Run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "phloemsim: %s: %v\n", name, err)
-			os.Exit(1)
+			return 0, fmt.Errorf("%s: %w", name, err)
 		}
 		if err := in.Verify(inst); err != nil {
-			fmt.Fprintf(os.Stderr, "phloemsim: %s: %v\n", name, err)
-			os.Exit(1)
+			return 0, fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Printf("--- %s\n%s", name, st.String())
-		return st.Cycles
+		return st.Cycles, nil
 	}
 
-	sc := run("serial", pipeline.NewSerial(serialProg))
-	res, err := core.Compile(serialProg, core.DefaultOptions())
+	sc, err := runPipe("serial", pipeline.NewSerial(serialProg))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "phloemsim:", err)
-		os.Exit(1)
+		return fail(err)
+	}
+	res, err := core.Compile(serialProg, opt)
+	if err != nil {
+		return fail(err)
 	}
 	fmt.Printf("--- phloem pipeline\n%s", res.Pipeline.Describe())
-	pc := run("phloem", res.Pipeline)
+	pc, err := runPipe("phloem", res.Pipeline)
+	if err != nil {
+		return fail(err)
+	}
 	fmt.Printf("\nspeedup on %s: %.2fx\n", in.Name, float64(sc)/float64(pc))
+	return 0
 }

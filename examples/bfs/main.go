@@ -29,11 +29,12 @@ func main() {
 	opt.Mode = core.Autotune
 	for _, tr := range graph.TrainingInputs() {
 		tg := tr.Graph
-		opt.Training = append(opt.Training, func(p *pipeline.Pipeline) (uint64, error) {
+		opt.Training = append(opt.Training, func(p *pipeline.Pipeline, b core.Budget) (uint64, error) {
 			inst, err := pipeline.Instantiate(p, arch.DefaultConfig(1), workloads.BFSBindings(tg, 0))
 			if err != nil {
 				return 0, err
 			}
+			b.Apply(inst.Machine)
 			st, err := inst.Run()
 			if err != nil {
 				return 0, err

@@ -40,6 +40,15 @@ type Config struct {
 	// HandlerRedirectPenalty is the fetch-redirect cost when a control-value
 	// handler fires (cheap: the core jumps without any squash of good work).
 	HandlerRedirectPenalty uint64
+	// CycleBudget aborts the timing phase once the simulated clock passes
+	// this many cycles (0 = unlimited). The run fails with a structured
+	// error carrying partial statistics, so searches can bound pathological
+	// candidates instead of hanging on them.
+	CycleBudget uint64
+	// IdleLimit is how many cycles the timing engine tolerates without any
+	// progress before declaring a deadlock (0 = the default of ~1M).
+	// Deadlock tests lower it to fail fast.
+	IdleLimit uint64
 	// Mem is the memory hierarchy configuration.
 	Mem cache.HierarchyConfig
 }

@@ -46,11 +46,19 @@ func gmean(xs []float64) float64 {
 // runPipe instantiates, runs, and verifies one variant on one input.
 func runPipe(pipe *pipeline.Pipeline, b pipeline.Bindings, in *workloads.Input,
 	cores int, verify bool) (*sim.Stats, error) {
+	return runPipeBudget(pipe, b, in, cores, verify, core.Budget{})
+}
+
+// runPipeBudget is runPipe with a measurement budget applied to the machine
+// (zero Budget leaves the defaults).
+func runPipeBudget(pipe *pipeline.Pipeline, b pipeline.Bindings, in *workloads.Input,
+	cores int, verify bool, budget core.Budget) (*sim.Stats, error) {
 	inst, err := pipeline.Instantiate(pipe, arch.DefaultConfig(cores), b)
 	if err != nil {
 		return nil, err
 	}
 	inst.Machine.MaxTraceEntries = 256 << 20
+	budget.Apply(inst.Machine)
 	st, err := inst.Run()
 	if err != nil {
 		return nil, err
@@ -84,13 +92,15 @@ type BenchResult struct {
 	StaticSpeedup float64
 }
 
-// trainers builds the autotuner's training callbacks for a benchmark.
-func trainers(bench *workloads.Benchmark) []func(*pipeline.Pipeline) (uint64, error) {
-	var out []func(*pipeline.Pipeline) (uint64, error)
+// trainers builds the autotuner's training callbacks for a benchmark. Each
+// callback applies the per-candidate budget so pathological candidates
+// abort instead of hanging the search.
+func trainers(bench *workloads.Benchmark) []core.TrainFunc {
+	var out []core.TrainFunc
 	for _, in := range bench.Train {
 		in := in
-		out = append(out, func(p *pipeline.Pipeline) (uint64, error) {
-			st, err := runPipe(p, in.Bind(), in, 1, true)
+		out = append(out, func(p *pipeline.Pipeline, b core.Budget) (uint64, error) {
+			st, err := runPipeBudget(p, in.Bind(), in, 1, true, b)
 			if err != nil {
 				return 0, err
 			}
@@ -321,7 +331,13 @@ func Fig13(cfg Config) error {
 			return err
 		}
 		byStage := map[int][]float64{}
+		measured, skipped := 0, 0
 		for _, p := range points {
+			if p.Skip != nil { // dropped candidates carry no cycle count
+				skipped++
+				continue
+			}
+			measured++
 			byStage[p.TotalStages] = append(byStage[p.TotalStages],
 				float64(serTotal)/float64(p.Cycles))
 		}
@@ -330,7 +346,7 @@ func Fig13(cfg Config) error {
 			stages = append(stages, s)
 		}
 		sort.Ints(stages)
-		cfg.printf("%-6s searched %d pipelines\n", name, len(points))
+		cfg.printf("%-6s searched %d pipelines (%d skipped)\n", name, measured, skipped)
 		for _, s := range stages {
 			xs := byStage[s]
 			lo, hi := xs[0], xs[0]

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+
+	"phloem/internal/arch"
+	"phloem/internal/core"
+	"phloem/internal/fault"
+	"phloem/internal/pipeline"
+	"phloem/internal/workloads"
+)
+
+// Chaos sweeps every benchmark's compiled pipeline across the deterministic
+// fault-plan suite (named plans plus `seeds` seeded ones). Each plan perturbs
+// only timing — queue capacities, RA windows, memory/control latencies, SMT
+// scheduling — so every run must still match the Go reference bit-for-bit;
+// any divergence, deadlock, or hang is an error. This is the runtime
+// counterpart of the static verifier: it demonstrates the decoupled queue
+// and control-value protocols tolerate adversarial timing.
+func Chaos(cfg Config, seeds int) error {
+	plans := fault.Suite(seeds)
+	cfg.printf("\nChaos sweep: %d fault plans, results must stay bit-identical\n", len(plans))
+	for _, bench := range workloads.Benchmarks(cfg.Scale) {
+		serialProg, err := workloads.CompileSerial(bench.SerialSource)
+		if err != nil {
+			return fmt.Errorf("%s: %w", bench.Name, err)
+		}
+		res, err := core.Compile(serialProg, core.DefaultOptions())
+		if err != nil {
+			return fmt.Errorf("%s: %w", bench.Name, err)
+		}
+		in := bench.Train[0]
+		base, err := chaosRun(res.Pipeline, in, fault.Plan{})
+		if err != nil {
+			return fmt.Errorf("%s baseline: %w", bench.Name, err)
+		}
+		worst := base
+		for _, plan := range plans {
+			cycles, err := chaosRun(res.Pipeline, in, plan)
+			if err != nil {
+				return fmt.Errorf("%s under %s: %w", bench.Name, plan, err)
+			}
+			if cycles > worst {
+				worst = cycles
+			}
+			if cfg.Verbose {
+				cfg.printf("  %-50s %10d cycles (%.2fx base)\n",
+					plan, cycles, float64(cycles)/float64(base))
+			}
+		}
+		cfg.printf("%-6s on %-10s ok: base=%d worst=%d (%.2fx slowdown), all results identical\n",
+			bench.Name, in.Name, base, worst, float64(worst)/float64(base))
+	}
+	return nil
+}
+
+// chaosRun executes one pipeline under one fault plan and verifies the
+// result against the Go reference.
+func chaosRun(pipe *pipeline.Pipeline, in *workloads.Input, plan fault.Plan) (uint64, error) {
+	inst, err := pipeline.Instantiate(pipe, arch.DefaultConfig(1), in.Bind())
+	if err != nil {
+		return 0, err
+	}
+	plan.Apply(inst.Machine)
+	st, err := inst.Run()
+	if err != nil {
+		return 0, err
+	}
+	if err := in.Verify(inst); err != nil {
+		return 0, fmt.Errorf("%s: results diverge from Go reference: %w", plan, err)
+	}
+	return st.Cycles, nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"phloem/internal/pipeline"
+	"phloem/internal/sim"
+)
+
+// TrainFunc measures a candidate pipeline on one training input under a
+// budget, returning the cycle count (or an error to skip the candidate).
+// Implementations apply the budget to the instantiated machine with
+// Budget.Apply before running.
+type TrainFunc func(*pipeline.Pipeline, Budget) (uint64, error)
+
+// DefaultBudgetFactor is the per-candidate budget multiplier over the
+// serial baseline: a candidate that has not finished after this many times
+// the serial cycle count cannot be the best pipeline and is aborted.
+const DefaultBudgetFactor = 8
+
+// Budget bounds one candidate measurement so pathological candidates
+// (timing deadlocks, livelocks, exponential blowups) abort quickly with a
+// structured error instead of hanging the search.
+type Budget struct {
+	// Cycles aborts the timing phase past this count (0 = unlimited).
+	Cycles uint64
+	// Trace caps functional-trace entries — the livelock guard, since the
+	// functional phase runs before any cycle is simulated (0 = simulator
+	// default).
+	Trace int
+}
+
+// Apply configures a machine with the budget.
+func (b Budget) Apply(m *sim.Machine) {
+	if b.Cycles > 0 {
+		m.Cfg.CycleBudget = b.Cycles
+	}
+	if b.Trace > 0 {
+		m.MaxTraceEntries = b.Trace
+	}
+}
+
+// candidateBudget derives the per-candidate budget from the serial
+// baseline. The trace cap is proportionally larger than the cycle budget
+// because trace entries track instructions, which outnumber cycles on a
+// wide core. A negative factor disables budgeting; zero selects the
+// default.
+func candidateBudget(serialCycles uint64, factor int) Budget {
+	if factor < 0 {
+		return Budget{}
+	}
+	if factor == 0 {
+		factor = DefaultBudgetFactor
+	}
+	cycles := serialCycles * uint64(factor)
+	tr := cycles * 8
+	if tr > math.MaxInt32 {
+		tr = math.MaxInt32
+	}
+	return Budget{Cycles: cycles, Trace: int(tr)}
+}
+
+// SkipReason classifies why the autotuner dropped a candidate.
+type SkipReason int
+
+const (
+	// SkipBuild: the pipelining passes rejected the point subset.
+	SkipBuild SkipReason = iota
+	// SkipVerifier: the static pipeline verifier found the build broken.
+	SkipVerifier
+	// SkipDeadlock: the candidate deadlocked in simulation.
+	SkipDeadlock
+	// SkipBudget: the candidate exceeded its cycle budget or trace limit.
+	SkipBudget
+	// SkipTrap: the candidate hit a functional trap (out-of-bounds access,
+	// division by zero, protocol violation).
+	SkipTrap
+	// SkipPanic: building or measuring the candidate panicked.
+	SkipPanic
+	// SkipError: any other measurement failure (e.g. a verify mismatch).
+	SkipError
+)
+
+func (r SkipReason) String() string {
+	switch r {
+	case SkipBuild:
+		return "build"
+	case SkipVerifier:
+		return "verifier"
+	case SkipDeadlock:
+		return "deadlock"
+	case SkipBudget:
+		return "budget"
+	case SkipTrap:
+		return "trap"
+	case SkipPanic:
+		return "panic"
+	default:
+		return "error"
+	}
+}
+
+// CandidateSkip records one candidate the search dropped, with the phase
+// and point subset that identify it and the structured cause.
+type CandidateSkip struct {
+	Phase  int
+	Subset []int
+	Reason SkipReason
+	Err    error
+}
+
+func (s CandidateSkip) String() string {
+	return fmt.Sprintf("phase %d subset %v: %s: %v", s.Phase, s.Subset, s.Reason, s.Err)
+}
+
+// panicError wraps a recovered panic value from candidate build/measure.
+type panicError struct{ val any }
+
+func (e *panicError) Error() string { return fmt.Sprintf("panic: %v", e.val) }
+
+// ErrVerify tags static-verifier rejections (see finishPipeline) so they
+// classify as SkipVerifier wherever they surface.
+var ErrVerify = errors.New("fails static verification")
+
+// classify maps a candidate failure to a skip reason using the simulator's
+// sentinel error classes.
+func classify(err error) SkipReason {
+	var pe *panicError
+	switch {
+	case errors.As(err, &pe):
+		return SkipPanic
+	case errors.Is(err, ErrVerify):
+		return SkipVerifier
+	case errors.Is(err, sim.ErrDeadlock):
+		return SkipDeadlock
+	case errors.Is(err, sim.ErrCycleBudget), errors.Is(err, sim.ErrTraceLimit):
+		return SkipBudget
+	case errors.Is(err, sim.ErrTrap):
+		return SkipTrap
+	}
+	return SkipError
+}
+
+// tryCandidate measures one candidate, converting panics into errors so a
+// crashing candidate cannot take down the whole search.
+func tryCandidate(pipe *pipeline.Pipeline, opt Options, b Budget) (cycles uint64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			cycles, err = 0, &panicError{val: r}
+		}
+	}()
+	return measure(pipe, opt, b)
+}

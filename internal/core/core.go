@@ -43,8 +43,13 @@ type Options struct {
 	// Machine is the build-target configuration.
 	Machine arch.Config
 	// Training supplies inputs for Autotune mode: each function receives a
-	// candidate pipeline and returns its cycle count (or an error to skip).
-	Training []func(*pipeline.Pipeline) (uint64, error)
+	// candidate pipeline and a measurement budget and returns its cycle
+	// count (or an error to skip).
+	Training []TrainFunc
+	// BudgetFactor scales the per-candidate budget relative to the serial
+	// baseline: a candidate is aborted once it runs past factor x the serial
+	// cycle count (0 = DefaultBudgetFactor; negative disables budgeting).
+	BudgetFactor int
 	// MaxCandidates bounds the candidate points considered per phase during
 	// the search (default 5).
 	MaxCandidates int
@@ -82,6 +87,9 @@ type Result struct {
 	// with pipeline.Replicate, supplying the shared arrays and per-replica
 	// scalars (the replicate_arguments() analogue of Sec. IV-C).
 	ReplicateRequested int
+	// Skips records every candidate the autotuner dropped and why
+	// (autotune mode only).
+	Skips []CandidateSkip
 }
 
 // CompileSource parses, checks, and lowers source, then builds a pipeline.
@@ -100,8 +108,15 @@ func CompileSource(src string, opt Options) (*Result, error) {
 	return Compile(p, opt)
 }
 
-// Compile builds a pipeline from an already-lowered program.
-func Compile(p *ir.Prog, opt Options) (*Result, error) {
+// Compile builds a pipeline from an already-lowered program. No panic from
+// the pass pipeline, verifier, or training runs escapes: anything recovered
+// becomes an error.
+func Compile(p *ir.Prog, opt Options) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("core: compile panicked: %v", r)
+		}
+	}()
 	if opt.MaxThreads <= 0 {
 		opt.MaxThreads = 4
 	}
@@ -198,7 +213,7 @@ func finishPipeline(pipe *pipeline.Pipeline, opt Options) error {
 		for _, d := range rep.Errors() {
 			msg += "\n  " + d.String()
 		}
-		return fmt.Errorf("core: pipeline %q fails static verification:%s", pipe.Prog.Name, msg)
+		return fmt.Errorf("core: pipeline %q %w:%s", pipe.Prog.Name, ErrVerify, msg)
 	}
 	return nil
 }
@@ -209,22 +224,44 @@ func finishPipeline(pipe *pipeline.Pipeline, opt Options) error {
 // points"). Phases are tuned jointly when there is one phase (the common
 // case); multi-phase programs tune each phase greedily against the others'
 // static choices to keep the search tractable.
+//
+// The search is crash-proof: the serial pipeline (measured first, and the
+// source of the per-candidate budget) is a guaranteed-valid fallback best,
+// every candidate build+measure runs under panic recovery, and each dropped
+// candidate is recorded on Result.Skips with a structured reason.
 func autotune(p *ir.Prog, phases []*analysis.Phase, cands [][]*analysis.Candidate, opt Options) (*Result, error) {
-	static, err := buildStatic(p, cands, opt)
-	if err != nil {
-		return nil, err
-	}
-	bestPipe := static.Pipeline
-	bestCycles, err := measure(bestPipe, opt)
-	if err != nil {
-		return nil, fmt.Errorf("core: static pipeline failed training: %w", err)
-	}
-	searched := 1
 	trace := opt.Trace
 	if trace == nil {
 		trace = func(string, ...any) {}
 	}
-	trace("autotune: static pipeline %d train cycles", bestCycles)
+	serial := pipeline.NewSerial(p)
+	serialCycles, err := measure(serial, opt, Budget{})
+	if err != nil {
+		// The serial program itself fails: nothing to tune against.
+		return nil, fmt.Errorf("core: serial baseline failed training: %w", err)
+	}
+	budget := candidateBudget(serialCycles, opt.BudgetFactor)
+	trace("autotune: serial baseline %d train cycles (candidate budget %d cycles)",
+		serialCycles, budget.Cycles)
+
+	bestPipe, bestCycles := serial, serialCycles
+	searched := 1
+	var skips []CandidateSkip
+
+	static, err := buildStatic(p, cands, opt)
+	if err != nil {
+		skips = append(skips, CandidateSkip{Phase: -1, Reason: classify(err), Err: err})
+		trace("autotune: static pipeline skipped: %v", err)
+	} else if cycles, err := tryCandidate(static.Pipeline, opt, budget); err != nil {
+		skips = append(skips, CandidateSkip{Phase: -1, Reason: classify(err), Err: err})
+		trace("autotune: static pipeline failed training: %v", err)
+	} else {
+		searched++
+		trace("autotune: static pipeline %d train cycles", cycles)
+		if cycles < bestCycles {
+			bestCycles, bestPipe = cycles, static.Pipeline
+		}
+	}
 
 	staticPoints := make([][]*analysis.Candidate, len(cands))
 	for i, cs := range cands {
@@ -244,18 +281,17 @@ func autotune(p *ir.Prog, phases []*analysis.Phase, cands [][]*analysis.Candidat
 			points := make([][]*analysis.Candidate, len(cands))
 			copy(points, staticPoints)
 			points[pi] = analysis.OrderPoints(pts)
-			pipe, err := passes.Build(p, points, opt.Passes, buildCfg(opt))
-			if err != nil {
-				continue // unsupported shape: skip this candidate
-			}
-			if err := finishPipeline(pipe, opt); err != nil {
-				trace("autotune: pipeline %v rejected by verifier: %v", subset, err)
+			pipe, skip := buildCandidate(p, pi, subset, points, opt)
+			if skip != nil {
+				skips = append(skips, *skip)
+				trace("autotune: pipeline %v skipped (%s): %v", subset, skip.Reason, skip.Err)
 				continue
 			}
 			searched++
-			cycles, err := measure(pipe, opt)
+			cycles, err := tryCandidate(pipe, opt, budget)
 			if err != nil {
-				trace("autotune: pipeline %v failed: %v", subset, err)
+				skips = append(skips, CandidateSkip{Phase: pi, Subset: subset, Reason: classify(err), Err: err})
+				trace("autotune: pipeline %v failed (%s): %v", subset, classify(err), err)
 				continue
 			}
 			trace("autotune: %d stages (+%d RAs) subset %v -> %d cycles",
@@ -266,20 +302,51 @@ func autotune(p *ir.Prog, phases []*analysis.Phase, cands [][]*analysis.Candidat
 			}
 		}
 	}
-	return &Result{Pipeline: bestPipe, Prog: p, Searched: searched, TrainCycles: bestCycles}, nil
+	return &Result{Pipeline: bestPipe, Prog: p, Searched: searched, TrainCycles: bestCycles,
+		ReplicateRequested: p.Replicate, Skips: skips}, nil
 }
 
-// SearchResults measures every candidate pipeline and reports (stages,
-// cycles) pairs — the raw data behind Fig. 13.
+// buildCandidate builds and verifies one candidate pipeline under panic
+// recovery, returning a structured skip on any failure.
+func buildCandidate(p *ir.Prog, phase int, subset []int, points [][]*analysis.Candidate,
+	opt Options) (pipe *pipeline.Pipeline, skip *CandidateSkip) {
+	defer func() {
+		if r := recover(); r != nil {
+			pipe = nil
+			skip = &CandidateSkip{Phase: phase, Subset: subset, Reason: SkipPanic, Err: &panicError{val: r}}
+		}
+	}()
+	pipe, err := passes.Build(p, points, opt.Passes, buildCfg(opt))
+	if err != nil {
+		return nil, &CandidateSkip{Phase: phase, Subset: subset, Reason: SkipBuild, Err: err}
+	}
+	if err := finishPipeline(pipe, opt); err != nil {
+		return nil, &CandidateSkip{Phase: phase, Subset: subset, Reason: SkipVerifier, Err: err}
+	}
+	return pipe, nil
+}
+
+// SearchPoint is one measured (or skipped) candidate pipeline — the raw
+// data behind Fig. 13.
 type SearchPoint struct {
 	TotalStages int
 	Cycles      uint64
 	Subset      []int
+	// Skip is non-nil when the candidate was dropped instead of measured
+	// (Cycles is then meaningless). Plot consumers filter on Skip == nil.
+	Skip *CandidateSkip
 }
 
 // Search enumerates and measures all candidate pipelines of a single-phase
-// program, returning every measured point (used by the Fig. 13 experiment).
-func Search(p *ir.Prog, opt Options) ([]SearchPoint, error) {
+// program, returning every point (used by the Fig. 13 experiment). Skipped
+// candidates are returned too, with SearchPoint.Skip recording the reason.
+// Like Compile, Search never lets a candidate panic escape.
+func Search(p *ir.Prog, opt Options) (out []SearchPoint, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("core: search panicked: %v", r)
+		}
+	}()
 	if !opt.EnableAblation {
 		opt.Passes = passes.Default()
 	}
@@ -298,7 +365,11 @@ func Search(p *ir.Prog, opt Options) ([]SearchPoint, error) {
 	for i, ph := range phases {
 		cands[i] = an.Candidates(ph)
 	}
-	var out []SearchPoint
+	serialCycles, err := measure(pipeline.NewSerial(p), opt, Budget{})
+	if err != nil {
+		return nil, fmt.Errorf("core: serial baseline failed training: %w", err)
+	}
+	budget := candidateBudget(serialCycles, opt.BudgetFactor)
 	for pi := range phases {
 		top := cands[pi]
 		if len(top) > opt.MaxCandidates {
@@ -314,15 +385,18 @@ func Search(p *ir.Prog, opt Options) ([]SearchPoint, error) {
 				points[i] = staticCut(cs, opt.MaxThreads)
 			}
 			points[pi] = analysis.OrderPoints(pts)
-			pipe, err := passes.Build(p, points, opt.Passes, buildCfg(opt))
-			if err != nil {
+			pipe, skip := buildCandidate(p, pi, subset, points, opt)
+			if skip != nil {
+				out = append(out, SearchPoint{Subset: subset, Skip: skip})
 				continue
 			}
-			if err := finishPipeline(pipe, opt); err != nil {
-				continue
-			}
-			cycles, err := measure(pipe, opt)
+			cycles, err := tryCandidate(pipe, opt, budget)
 			if err != nil {
+				out = append(out, SearchPoint{
+					TotalStages: pipe.TotalStages(),
+					Subset:      subset,
+					Skip:        &CandidateSkip{Phase: pi, Subset: subset, Reason: classify(err), Err: err},
+				})
 				continue
 			}
 			out = append(out, SearchPoint{
@@ -336,10 +410,10 @@ func Search(p *ir.Prog, opt Options) ([]SearchPoint, error) {
 	return out, nil
 }
 
-func measure(pipe *pipeline.Pipeline, opt Options) (uint64, error) {
+func measure(pipe *pipeline.Pipeline, opt Options, b Budget) (uint64, error) {
 	var total uint64
 	for _, train := range opt.Training {
-		c, err := train(pipe)
+		c, err := train(pipe, b)
 		if err != nil {
 			return 0, err
 		}

@@ -11,12 +11,13 @@ import (
 	"phloem/internal/workloads"
 )
 
-func bfsTrainer(g *graph.CSR) func(*pipeline.Pipeline) (uint64, error) {
-	return func(p *pipeline.Pipeline) (uint64, error) {
+func bfsTrainer(g *graph.CSR) core.TrainFunc {
+	return func(p *pipeline.Pipeline, b core.Budget) (uint64, error) {
 		inst, err := pipeline.Instantiate(p, arch.DefaultConfig(1), workloads.BFSBindings(g, 0))
 		if err != nil {
 			return 0, err
 		}
+		b.Apply(inst.Machine)
 		st, err := inst.Run()
 		if err != nil {
 			return 0, err
@@ -76,7 +77,7 @@ func TestAblationConfigsAllCorrect(t *testing.T) {
 		if err != nil {
 			t.Fatalf("config %d [%s]: %v", i, pc, err)
 		}
-		if _, err := bfsTrainer(g)(res.Pipeline); err != nil {
+		if _, err := bfsTrainer(g)(res.Pipeline, core.Budget{}); err != nil {
 			t.Errorf("config %d [%s]: %v", i, pc, err)
 		}
 	}
@@ -88,13 +89,13 @@ func TestAutotunePicksNoWorseThanStatic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	staticCycles, err := bfsTrainer(train)(static.Pipeline)
+	staticCycles, err := bfsTrainer(train)(static.Pipeline, core.Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	opt := core.DefaultOptions()
 	opt.Mode = core.Autotune
-	opt.Training = []func(*pipeline.Pipeline) (uint64, error){bfsTrainer(train)}
+	opt.Training = []core.TrainFunc{bfsTrainer(train)}
 	tuned, err := core.CompileSource(workloads.BFSSource, opt)
 	if err != nil {
 		t.Fatal(err)
@@ -115,7 +116,7 @@ func TestSearchReportsMultipleStageCounts(t *testing.T) {
 	}
 	g := graph.Grid("s", 16, 16, 4)
 	opt := core.DefaultOptions()
-	opt.Training = []func(*pipeline.Pipeline) (uint64, error){bfsTrainer(g)}
+	opt.Training = []core.TrainFunc{bfsTrainer(g)}
 	points, err := core.Search(p, opt)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,151 @@
+package core_test
+
+// The autotune search must survive pathological candidates: a livelocked
+// pipeline is aborted by the measurement budget, a verifier-rejected one is
+// dropped with a recorded reason, and a panicking hook becomes an error —
+// in every case the search still returns a valid best pipeline and no panic
+// escapes core.Compile.
+
+import (
+	"testing"
+
+	"phloem/internal/core"
+	"phloem/internal/graph"
+	"phloem/internal/ir"
+	"phloem/internal/pipeline"
+	"phloem/internal/workloads"
+)
+
+// injectLivelock poisons every two-stage candidate with an infinite loop
+// (the Store keeps it impure so optimization cannot delete it). The
+// functional phase spins until the trace-limit guardrail trips.
+func injectLivelock(pl *pipeline.Pipeline) {
+	if pl.NumStages() != 2 {
+		return
+	}
+	st := pl.Stages[0]
+	spin := &ir.Loop{ID: 9901, Cond: ir.C(1), Body: []ir.Stmt{
+		&ir.Store{StoreID: 9901, Slot: 0, Idx: ir.C(0), Val: ir.C(0)},
+	}}
+	st.Body = append([]ir.Stmt{spin}, st.Body...)
+}
+
+func autotuneOpts(train *graph.CSR) core.Options {
+	opt := core.DefaultOptions()
+	opt.Mode = core.Autotune
+	opt.Training = []core.TrainFunc{bfsTrainer(train)}
+	return opt
+}
+
+func TestAutotuneSurvivesLivelockedCandidate(t *testing.T) {
+	train := graph.Grid("t", 24, 24, 9)
+	opt := autotuneOpts(train)
+	opt.PostBuild = injectLivelock
+	opt.SkipVerify = true // let the livelock reach simulation: the budget must catch it
+	res, err := core.CompileSource(workloads.BFSSource, opt)
+	if err != nil {
+		t.Fatalf("search did not survive livelocked candidates: %v", err)
+	}
+	if res.Pipeline == nil || res.Pipeline.NumStages() == 2 {
+		t.Fatalf("search picked a poisoned pipeline: %v", res.Pipeline)
+	}
+	budgetSkips := 0
+	for _, s := range res.Skips {
+		if s.Reason == core.SkipBudget {
+			budgetSkips++
+			if s.Err == nil {
+				t.Error("budget skip without underlying error")
+			}
+		}
+	}
+	if budgetSkips == 0 {
+		t.Fatalf("no candidate was skipped for budget; skips: %v", res.Skips)
+	}
+	// The winner must still work: run it clean on a fresh input.
+	if _, err := bfsTrainer(graph.Grid("v", 16, 16, 3))(res.Pipeline, core.Budget{}); err != nil {
+		t.Errorf("best pipeline is broken: %v", err)
+	}
+	t.Logf("searched %d, skipped %d (%d for budget), best %d train cycles",
+		res.Searched, len(res.Skips), budgetSkips, res.TrainCycles)
+}
+
+func TestAutotuneFallsBackToSerialOnVerifierRejects(t *testing.T) {
+	train := graph.Grid("t", 20, 20, 7)
+	opt := autotuneOpts(train)
+	opt.PostBuild = injectRogueCode // poisons every built candidate incl. static
+	res, err := core.CompileSource(workloads.BFSSource, opt)
+	if err != nil {
+		t.Fatalf("search should fall back to serial, got: %v", err)
+	}
+	if res.Pipeline.NumStages() != 1 {
+		t.Errorf("best should be the serial fallback, got %d stages", res.Pipeline.NumStages())
+	}
+	if len(res.Skips) == 0 {
+		t.Fatal("no skips recorded")
+	}
+	for _, s := range res.Skips {
+		if s.Reason != core.SkipVerifier {
+			t.Errorf("skip %v: reason %v, want verifier", s.Subset, s.Reason)
+		}
+	}
+}
+
+func TestCompileRecoversPanics(t *testing.T) {
+	t.Run("static", func(t *testing.T) {
+		opt := core.DefaultOptions()
+		opt.PostBuild = func(*pipeline.Pipeline) { panic("injected hook crash") }
+		_, err := core.CompileSource(workloads.BFSSource, opt)
+		if err == nil {
+			t.Fatal("expected an error from the panicking hook")
+		}
+	})
+	t.Run("autotune", func(t *testing.T) {
+		opt := autotuneOpts(graph.Grid("t", 16, 16, 5))
+		opt.PostBuild = func(pl *pipeline.Pipeline) {
+			if pl.NumStages() == 2 {
+				panic("injected hook crash")
+			}
+		}
+		res, err := core.CompileSource(workloads.BFSSource, opt)
+		if err != nil {
+			t.Fatalf("panicking candidates must be skipped, got: %v", err)
+		}
+		panicSkips := 0
+		for _, s := range res.Skips {
+			if s.Reason == core.SkipPanic {
+				panicSkips++
+			}
+		}
+		if panicSkips == 0 {
+			t.Errorf("no panic skips recorded; skips: %v", res.Skips)
+		}
+	})
+}
+
+func TestSearchReportsSkippedCandidates(t *testing.T) {
+	p, err := workloads.CompileSerial(workloads.BFSSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := autotuneOpts(graph.Grid("s", 16, 16, 4))
+	opt.PostBuild = injectLivelock
+	opt.SkipVerify = true
+	points, err := core.Search(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured, skipped := 0, 0
+	for _, pt := range points {
+		if pt.Skip != nil {
+			skipped++
+			if pt.Skip.Reason != core.SkipBudget {
+				t.Errorf("subset %v: reason %v, want budget", pt.Subset, pt.Skip.Reason)
+			}
+		} else {
+			measured++
+		}
+	}
+	if measured == 0 || skipped == 0 {
+		t.Errorf("want both measured and skipped points, got %d/%d", measured, skipped)
+	}
+}

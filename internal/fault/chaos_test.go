@@ -1,0 +1,130 @@
+package fault_test
+
+import (
+	"testing"
+
+	"phloem/internal/arch"
+	"phloem/internal/core"
+	"phloem/internal/fault"
+	"phloem/internal/matrix"
+	"phloem/internal/pipeline"
+	"phloem/internal/taco"
+	"phloem/internal/workloads"
+)
+
+// chaosPlans is the sweep: every named plan plus seeded ones. Under -short
+// only a representative subset runs.
+func chaosPlans(t *testing.T) []fault.Plan {
+	if testing.Short() {
+		return append(fault.Named()[:2], fault.New(1))
+	}
+	return fault.Suite(4)
+}
+
+// TestChaosBenchmarks runs every benchmark's compiled pipeline under every
+// fault plan on its smallest training input, asserting the invariant that
+// timing faults never change functional results (each run must still match
+// the Go reference bit-for-bit) and never hang (the simulator's guardrails
+// turn hangs into errors, which fail the test).
+func TestChaosBenchmarks(t *testing.T) {
+	plans := chaosPlans(t)
+	for _, bench := range workloads.Benchmarks(workloads.ScaleTest) {
+		bench := bench
+		t.Run(bench.Name, func(t *testing.T) {
+			t.Parallel()
+			serial, err := workloads.CompileSerial(bench.SerialSource)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Compile(serial, core.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := bench.Train[0]
+
+			run := func(plan fault.Plan) uint64 {
+				inst, err := pipeline.Instantiate(res.Pipeline, arch.DefaultConfig(1), in.Bind())
+				if err != nil {
+					t.Fatalf("%s: instantiate: %v", plan, err)
+				}
+				plan.Apply(inst.Machine)
+				st, err := inst.Run()
+				if err != nil {
+					t.Fatalf("%s: run: %v", plan, err)
+				}
+				if err := in.Verify(inst); err != nil {
+					t.Errorf("%s: results diverge from Go reference: %v", plan, err)
+				}
+				return st.Cycles
+			}
+
+			base := run(fault.Plan{})
+			changed := 0
+			for _, plan := range plans {
+				if c := run(plan); c != base {
+					changed++
+				}
+			}
+			if changed == 0 {
+				t.Errorf("no fault plan perturbed timing (baseline %d cycles); hooks are dead", base)
+			}
+		})
+	}
+}
+
+// TestChaosTaco runs the chaos sweep over a Taco-compiled sparse kernel.
+func TestChaosTaco(t *testing.T) {
+	k := taco.Kernels()[0] // SpMV
+	src, err := taco.Emit(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.CompileSource(src, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := matrix.PowerLawRows("chaos", 300, 6, 11)
+	const seed = 5
+	for _, plan := range chaosPlans(t) {
+		inst, err := pipeline.Instantiate(res.Pipeline, arch.DefaultConfig(1), taco.Bindings(k, m, seed))
+		if err != nil {
+			t.Fatalf("%s: instantiate: %v", plan, err)
+		}
+		plan.Apply(inst.Machine)
+		if _, err := inst.Run(); err != nil {
+			t.Fatalf("%s: run: %v", plan, err)
+		}
+		if err := taco.Verify(k, m, seed, inst); err != nil {
+			t.Errorf("%s: results diverge from Go reference: %v", plan, err)
+		}
+	}
+}
+
+// TestPlanDeterminism checks that seeded plans are reproducible and that
+// ByName resolves both named and seeded plans.
+func TestPlanDeterminism(t *testing.T) {
+	if fault.New(42) != fault.New(42) {
+		t.Error("New(42) not deterministic")
+	}
+	if fault.New(1) == fault.New(2) {
+		t.Error("different seeds produced identical plans")
+	}
+	for _, p := range fault.Named() {
+		got, err := fault.ByName(p.Name)
+		if err != nil || got.Name != p.Name {
+			t.Errorf("ByName(%q) = %v, %v", p.Name, got, err)
+		}
+	}
+	if p, err := fault.ByName("seed-7"); err != nil || p != fault.New(7) {
+		t.Errorf("ByName(seed-7) = %v, %v", p, err)
+	}
+	if _, err := fault.ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+	if fault.New(3).Faults() == nil {
+		t.Error("seeded plan has no hooks")
+	}
+	if (fault.Plan{}).Faults() != nil {
+		t.Error("zero plan should have nil hooks")
+	}
+}

@@ -1,0 +1,196 @@
+// Package fault provides seeded, deterministic timing-fault plans for chaos
+// testing Phloem pipelines. A plan perturbs only timing-visible parameters —
+// queue capacities, RA outstanding-request windows, memory latencies,
+// control-value delivery, SMT thread scheduling — through the simulator's
+// TimingFaults hooks, which the functional phase never consults. The
+// invariant under test: any fault plan leaves functional results
+// bit-identical to the Go reference, because the queue and control-value
+// protocols must tolerate adversarial timing.
+package fault
+
+import (
+	"fmt"
+
+	"phloem/internal/sim"
+)
+
+// Plan describes one deterministic fault scenario. Zero-valued fields are
+// inactive; the zero Plan injects nothing.
+type Plan struct {
+	// Name identifies the plan in test output and CLI flags.
+	Name string
+
+	// QueueDepthCap caps every architectural queue's capacity (it can only
+	// shrink the configured depth, never grow it).
+	QueueDepthCap int
+	// RAWindowCap caps every RA's outstanding-request window.
+	RAWindowCap int
+
+	// MemSpikePeriod/MemSpikeLatency add MemSpikeLatency extra cycles to
+	// every MemSpikePeriod-th memory access (core and RA loads share the
+	// access counter).
+	MemSpikePeriod  uint64
+	MemSpikeLatency uint64
+
+	// CtrlDelayPeriod/CtrlDelayCycles delay every CtrlDelayPeriod-th
+	// control value enqueued to each queue by CtrlDelayCycles before it
+	// becomes visible to the consumer.
+	CtrlDelayPeriod uint64
+	CtrlDelayCycles uint64
+
+	// StallPeriod/StallCycles bar each SMT thread from issuing for
+	// StallCycles out of every StallPeriod cycles, phase-shifted per
+	// (core, slot) so stalls hit threads at different times.
+	StallPeriod uint64
+	StallCycles uint64
+}
+
+// active reports whether the plan perturbs anything.
+func (p Plan) active() bool {
+	return p.QueueDepthCap > 0 || p.RAWindowCap > 0 || p.MemSpikePeriod > 0 ||
+		p.CtrlDelayPeriod > 0 || p.StallPeriod > 0
+}
+
+func (p Plan) String() string {
+	s := p.Name
+	if s == "" {
+		s = "plan"
+	}
+	if p.QueueDepthCap > 0 {
+		s += fmt.Sprintf(" qcap=%d", p.QueueDepthCap)
+	}
+	if p.RAWindowCap > 0 {
+		s += fmt.Sprintf(" rawin=%d", p.RAWindowCap)
+	}
+	if p.MemSpikePeriod > 0 {
+		s += fmt.Sprintf(" mem=+%d/%d", p.MemSpikeLatency, p.MemSpikePeriod)
+	}
+	if p.CtrlDelayPeriod > 0 {
+		s += fmt.Sprintf(" ctrl=+%d/%d", p.CtrlDelayCycles, p.CtrlDelayPeriod)
+	}
+	if p.StallPeriod > 0 {
+		s += fmt.Sprintf(" stall=%d/%d", p.StallCycles, p.StallPeriod)
+	}
+	return s
+}
+
+// Faults builds the simulator hook set for the plan (nil for an inactive
+// plan). Every hook is a pure function of its arguments, so replays are
+// deterministic.
+func (p Plan) Faults() *sim.TimingFaults {
+	if !p.active() {
+		return nil
+	}
+	f := &sim.TimingFaults{}
+	if c := p.QueueDepthCap; c > 0 {
+		f.QueueDepth = func(q, d int) int { return c }
+	}
+	if c := p.RAWindowCap; c > 0 {
+		f.RAOutstanding = func(ra, n int) int { return c }
+	}
+	if per, lat := p.MemSpikePeriod, p.MemSpikeLatency; per > 0 {
+		f.MemLatency = func(n uint64) uint64 {
+			if n%per == 0 {
+				return lat
+			}
+			return 0
+		}
+	}
+	if per, d := p.CtrlDelayPeriod, p.CtrlDelayCycles; per > 0 {
+		f.CtrlDelay = func(q int, n uint64) uint64 {
+			// Offset by the queue id so queues are not delayed in lockstep.
+			if (n+uint64(q))%per == 0 {
+				return d
+			}
+			return 0
+		}
+	}
+	if per, dur := p.StallPeriod, p.StallCycles; per > 0 {
+		f.ThreadStall = func(core, slot int, now uint64) bool {
+			phase := (now + uint64(core)*13 + uint64(slot)*41) % per
+			return phase < dur
+		}
+	}
+	return f
+}
+
+// Apply installs the plan's hooks on a machine (clearing them for an
+// inactive plan).
+func (p Plan) Apply(m *sim.Machine) {
+	m.Faults = p.Faults()
+}
+
+// Named returns the hand-written plans, each stressing one perturbation
+// class hard, plus a kitchen-sink plan combining moderate doses of all.
+func Named() []Plan {
+	return []Plan{
+		{Name: "min-queues", QueueDepthCap: 1},
+		{Name: "narrow-ra", RAWindowCap: 1},
+		{Name: "mem-spikes", MemSpikePeriod: 7, MemSpikeLatency: 150},
+		{Name: "ctrl-delay", CtrlDelayPeriod: 2, CtrlDelayCycles: 24},
+		{Name: "smt-stall", StallPeriod: 37, StallCycles: 11},
+		{Name: "kitchen-sink", QueueDepthCap: 2, RAWindowCap: 2,
+			MemSpikePeriod: 5, MemSpikeLatency: 90,
+			CtrlDelayPeriod: 3, CtrlDelayCycles: 9,
+			StallPeriod: 29, StallCycles: 7},
+	}
+}
+
+// New derives a pseudo-random plan from a seed. The same seed always yields
+// the same plan (splitmix64 expansion — no global RNG state), so failures
+// reproduce from the seed alone.
+func New(seed uint64) Plan {
+	s := seed
+	next := func() uint64 { return splitmix64(&s) }
+	return Plan{
+		Name:            fmt.Sprintf("seed-%d", seed),
+		QueueDepthCap:   1 + int(next()%6),
+		RAWindowCap:     1 + int(next()%4),
+		MemSpikePeriod:  3 + next()%13,
+		MemSpikeLatency: 20 + next()%200,
+		CtrlDelayPeriod: 1 + next()%7,
+		CtrlDelayCycles: 1 + next()%40,
+		StallPeriod:     16 + next()%64,
+		StallCycles:     1 + next()%15,
+	}
+}
+
+// Suite returns the named plans followed by n seeded plans (seeds 1..n).
+func Suite(n int) []Plan {
+	out := Named()
+	for i := 1; i <= n; i++ {
+		out = append(out, New(uint64(i)))
+	}
+	return out
+}
+
+// ByName resolves a named plan, or a "seed-N" plan for any N.
+func ByName(name string) (Plan, error) {
+	for _, p := range Named() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	var seed uint64
+	if _, err := fmt.Sscanf(name, "seed-%d", &seed); err == nil {
+		return New(seed), nil
+	}
+	return Plan{}, fmt.Errorf("fault: unknown plan %q (named plans: %v, or seed-N)", name, planNames())
+}
+
+func planNames() []string {
+	var out []string
+	for _, p := range Named() {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// splitmix64 is the standard SplitMix64 PRNG step.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -303,7 +303,10 @@ func (lw *astLowerer) assign(s *source.AssignStmt) ([]ir.Stmt, error) {
 		if s.Op == "=" {
 			out = append(out, &ir.Assign{Dst: b.v, Src: movRval(rhs, k)})
 		} else {
-			op := compoundOp(s.Op)
+			op, err := compoundOp(s.Op)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", s.Line, err)
+			}
 			out = append(out, &ir.Assign{Dst: b.v,
 				Src: &ir.RvalBin{Op: op, Float: k == ir.KFloat, A: ir.V(b.v), B: rhs}})
 		}
@@ -326,12 +329,16 @@ func (lw *astLowerer) assign(s *source.AssignStmt) ([]ir.Stmt, error) {
 		k := kindOf(tgt.ExprType())
 		val := rhs
 		if s.Op != "=" {
+			op, err := compoundOp(s.Op)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", s.Line, err)
+			}
 			old := lw.tmp(k)
 			out = append(out, &ir.Assign{Dst: old,
 				Src: &ir.RvalLoad{LoadID: lw.newLoadID(), Slot: b.slot, Idx: idx}})
 			nv := lw.tmp(k)
 			out = append(out, &ir.Assign{Dst: nv,
-				Src: &ir.RvalBin{Op: compoundOp(s.Op), Float: k == ir.KFloat, A: ir.V(old), B: rhs}})
+				Src: &ir.RvalBin{Op: op, Float: k == ir.KFloat, A: ir.V(old), B: rhs}})
 			val = ir.V(nv)
 		}
 		out = append(out, &ir.Store{StoreID: lw.newStoreID(), Slot: b.slot, Idx: idx, Val: val})
@@ -340,18 +347,18 @@ func (lw *astLowerer) assign(s *source.AssignStmt) ([]ir.Stmt, error) {
 	return nil, fmt.Errorf("line %d: unsupported assignment target", s.Line)
 }
 
-func compoundOp(op string) ir.BinOp {
+func compoundOp(op string) (ir.BinOp, error) {
 	switch op {
 	case "+=":
-		return ir.OpAdd
+		return ir.OpAdd, nil
 	case "-=":
-		return ir.OpSub
+		return ir.OpSub, nil
 	case "*=":
-		return ir.OpMul
+		return ir.OpMul, nil
 	case "/=":
-		return ir.OpDiv
+		return ir.OpDiv, nil
 	}
-	panic("lower: bad compound op " + op)
+	return 0, &Error{Detail: fmt.Sprintf("bad compound op %q", op)}
 }
 
 func (lw *astLowerer) newLoadID() int {

@@ -1,0 +1,22 @@
+package lower
+
+import "fmt"
+
+// Error reports a lowering invariant violation as a structured error. The
+// flattener's register-resolution path has no error return (it mirrors a
+// table lookup), so internal violations are raised as typed panics and
+// recovered at the Flatten boundary, where the stage name is attached.
+type Error struct {
+	// Stage is the stage program being flattened ("" before Flatten
+	// attaches it).
+	Stage string
+	// Detail describes the violation.
+	Detail string
+}
+
+func (e *Error) Error() string {
+	if e.Stage != "" {
+		return fmt.Sprintf("lower: stage %s: %s", e.Stage, e.Detail)
+	}
+	return "lower: " + e.Detail
+}

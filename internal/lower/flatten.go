@@ -11,7 +11,20 @@ import (
 // Virtual variables map 1:1 to registers; constants are hoisted into a
 // prologue (standing in for what gcc -O3 does with loop-invariant
 // materialization), except where the ISA has immediate forms.
-func Flatten(p *ir.Prog, stageName string, body []ir.Stmt) (*isa.Program, error) {
+func Flatten(p *ir.Prog, stageName string, body []ir.Stmt) (prog *isa.Program, err error) {
+	// Internal invariant violations (e.g. a constant the hoisting pre-scan
+	// missed) are raised as typed panics on the register-resolution path and
+	// surfaced here as structured errors.
+	defer func() {
+		if r := recover(); r != nil {
+			le, ok := r.(*Error)
+			if !ok {
+				panic(r)
+			}
+			le.Stage = stageName
+			prog, err = nil, le
+		}
+	}()
 	f := &flattener{
 		p:      p,
 		b:      isa.NewBuilder(stageName),
@@ -46,7 +59,7 @@ func (f *flattener) newLabel(prefix string) string {
 func (f *flattener) constReg(imm int64) isa.Reg {
 	r, ok := f.consts[imm]
 	if !ok {
-		panic(fmt.Sprintf("lower: constant %d not hoisted", imm))
+		panic(&Error{Detail: fmt.Sprintf("constant %d not hoisted", imm)})
 	}
 	return r
 }

@@ -7,6 +7,27 @@ package mem
 
 import "fmt"
 
+// Error is the typed panic value raised by memory-system misuse (kind
+// mismatches, bad allocation sizes). The accessors on the hot load/store
+// path keep their panic-based signatures, but the panic payload is
+// structured so boundaries like sim.RunFunctional can recover it into a
+// structured trap instead of crashing the process.
+type Error struct {
+	// Op names the failing operation ("LoadInt", "Alloc", "Kind.Size", ...).
+	Op string
+	// Array is the array name, when the failure concerns one.
+	Array string
+	// Detail describes the violation.
+	Detail string
+}
+
+func (e *Error) Error() string {
+	if e.Array != "" {
+		return fmt.Sprintf("mem: %s on %q: %s", e.Op, e.Array, e.Detail)
+	}
+	return fmt.Sprintf("mem: %s: %s", e.Op, e.Detail)
+}
+
 // Kind identifies the element type of a simulated array.
 type Kind int
 
@@ -27,7 +48,7 @@ func (k Kind) Size() int {
 	case I64, F64:
 		return 8
 	}
-	panic(fmt.Sprintf("mem: unknown kind %d", int(k)))
+	panic(&Error{Op: "Kind.Size", Detail: fmt.Sprintf("unknown kind %d", int(k))})
 }
 
 func (k Kind) String() string {
@@ -86,7 +107,7 @@ func (a *Array) LoadInt(i int64) int64 {
 	case I64:
 		return a.i64[i]
 	default:
-		panic(fmt.Sprintf("mem: LoadInt on float array %q", a.Name))
+		panic(&Error{Op: "LoadInt", Array: a.Name, Detail: "array holds floats"})
 	}
 }
 
@@ -98,14 +119,14 @@ func (a *Array) StoreInt(i int64, v int64) {
 	case I64:
 		a.i64[i] = v
 	default:
-		panic(fmt.Sprintf("mem: StoreInt on float array %q", a.Name))
+		panic(&Error{Op: "StoreInt", Array: a.Name, Detail: "array holds floats"})
 	}
 }
 
 // LoadFloat reads element i of an F64 array.
 func (a *Array) LoadFloat(i int64) float64 {
 	if a.Kind != F64 {
-		panic(fmt.Sprintf("mem: LoadFloat on int array %q", a.Name))
+		panic(&Error{Op: "LoadFloat", Array: a.Name, Detail: "array holds ints"})
 	}
 	return a.f64[i]
 }
@@ -113,7 +134,7 @@ func (a *Array) LoadFloat(i int64) float64 {
 // StoreFloat writes element i of an F64 array.
 func (a *Array) StoreFloat(i int64, v float64) {
 	if a.Kind != F64 {
-		panic(fmt.Sprintf("mem: StoreFloat on int array %q", a.Name))
+		panic(&Error{Op: "StoreFloat", Array: a.Name, Detail: "array holds ints"})
 	}
 	a.f64[i] = v
 }
@@ -148,7 +169,7 @@ func NewSpace() *Space {
 // Alloc allocates a zero-initialized array of n elements.
 func (s *Space) Alloc(name string, kind Kind, n int) *Array {
 	if n < 0 {
-		panic(fmt.Sprintf("mem: Alloc(%q) with negative length %d", name, n))
+		panic(&Error{Op: "Alloc", Array: name, Detail: fmt.Sprintf("negative length %d", n)})
 	}
 	a := &Array{Name: name, Kind: kind, Base: s.next}
 	switch kind {

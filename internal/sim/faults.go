@@ -1,0 +1,58 @@
+package sim
+
+// TimingFaults injects timing-only perturbations into a run. Every hook is
+// consulted exclusively by the timing engine — never by the functional
+// phase, which computes all values first — so by construction any fault
+// plan leaves functional results bit-identical to an unfaulted run. What a
+// plan can change is *when* things happen: queue capacities, RA
+// outstanding-request windows, memory latencies, control-value delivery,
+// and SMT thread scheduling. Chaos tests use this to validate that the
+// queue and control-value protocols tolerate adversarial timing.
+//
+// Hooks must be deterministic functions of their arguments (the engine is
+// single-threaded and replay-stable); nil hooks are skipped.
+type TimingFaults struct {
+	// QueueDepth overrides queue q's capacity; d is the configured depth.
+	// Returns are clamped to >= 1.
+	QueueDepth func(q, d int) int
+	// RAOutstanding overrides RA i's outstanding-request window; n is the
+	// configured window. Returns are clamped to >= 1.
+	RAOutstanding func(ra, n int) int
+	// MemLatency returns extra cycles added to the n-th memory access of
+	// the run (core loads and RA loads share the counter).
+	MemLatency func(n uint64) uint64
+	// CtrlDelay returns extra cycles before the n-th control value
+	// enqueued to queue q becomes visible to the consumer.
+	CtrlDelay func(q int, n uint64) uint64
+	// ThreadStall reports whether SMT thread `slot` of `core` is barred
+	// from issuing at cycle now (models scheduling interference).
+	ThreadStall func(core, slot int, now uint64) bool
+}
+
+// queueCap resolves queue q's effective timing capacity under faults.
+func (m *Machine) queueCap(q int) int {
+	d := m.queueDepth(q)
+	if m.Faults != nil && m.Faults.QueueDepth != nil {
+		if v := m.Faults.QueueDepth(q, d); v < d {
+			d = v
+		}
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// raWindow resolves RA i's effective outstanding window under faults.
+func (m *Machine) raWindow(i int) int {
+	n := m.Cfg.RAOutstanding
+	if m.Faults != nil && m.Faults.RAOutstanding != nil {
+		if v := m.Faults.RAOutstanding(i, n); v < n {
+			n = v
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -78,12 +78,25 @@ type funcEngine struct {
 
 // RunFunctional executes the machine's programs to completion and returns the
 // traces. Memory side effects remain in m.Space; slot bindings may have been
-// swapped by the program. Errors report deadlocks and functional traps
-// (out-of-bounds accesses, division by zero, protocol violations).
-func (m *Machine) RunFunctional() (*TraceSet, error) {
+// swapped by the program. Errors are structured: *DeadlockError (with a
+// wait-for snapshot), *TraceLimitError (livelock guard), and *TrapError
+// (out-of-bounds accesses, division by zero, protocol violations) — classify
+// with errors.Is against ErrDeadlock/ErrTraceLimit/ErrTrap.
+func (m *Machine) RunFunctional() (ts *TraceSet, err error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
+	// Typed memory-system panics (kind mismatches, bad allocations) become
+	// structured traps instead of crashing the caller.
+	defer func() {
+		if r := recover(); r != nil {
+			me, ok := r.(*mem.Error)
+			if !ok {
+				panic(r)
+			}
+			ts, err = nil, &TrapError{PC: -1, Msg: me.Error()}
+		}
+	}()
 	e := &funcEngine{m: m, cap: uint64(m.MaxTraceEntries)}
 	if e.cap == 0 {
 		e.cap = 64 << 20
@@ -134,14 +147,14 @@ func (m *Machine) RunFunctional() (*TraceSet, error) {
 			break
 		}
 		if !progress {
-			return nil, e.deadlockError()
+			return nil, &DeadlockError{Snapshot: e.snapshot()}
 		}
 		if e.total > e.cap {
-			return nil, fmt.Errorf("sim: trace limit exceeded (%d entries); runaway program or input too large", e.total)
+			return nil, &TraceLimitError{Entries: e.total, Limit: e.cap}
 		}
 	}
 
-	ts := &TraceSet{Instructions: e.total}
+	ts = &TraceSet{Instructions: e.total}
 	for _, q := range e.queues {
 		ts.Leftover = append(ts.Leftover, q.len())
 	}
@@ -182,22 +195,38 @@ func (e *funcEngine) releaseBarriers() bool {
 	return true
 }
 
-func (e *funcEngine) deadlockError() error {
-	msg := "sim: functional deadlock:"
-	for i, t := range e.threads {
+// snapshot captures the functional engine's wait-for state. Functional
+// queues are unbounded, so the only blocking states are deq-empty and
+// barrier; queue occupancies still identify where tokens piled up.
+func (e *funcEngine) snapshot() *WaitForSnapshot {
+	s := &WaitForSnapshot{Phase: "functional"}
+	for _, t := range e.threads {
+		if t.state == tsHalted {
+			continue
+		}
+		w := StageWait{
+			Stage:   t.stage.Prog.Name,
+			Thread:  t.stage.Thread,
+			PC:      int32(t.pc),
+			Fetched: t.pc,
+			Total:   len(t.stage.Prog.Instrs),
+		}
 		switch t.state {
 		case tsDeqBlocked:
-			msg += fmt.Sprintf("\n  stage %d (%s) blocked on deq q%d (%s) at pc %d",
-				i, t.stage.Prog.Name, t.blockQ, e.m.Queues[t.blockQ].Name, t.pc)
+			w.State = "deq-empty"
+			q := t.blockQ
+			w.Queue = &QueueWait{Q: q, Name: e.m.Queues[q].Name, Len: e.queues[q].len()}
 		case tsBarrier:
-			msg += fmt.Sprintf("\n  stage %d (%s) waiting at barrier %d",
-				i, t.stage.Prog.Name, t.barriers)
-		case tsRunning:
-			msg += fmt.Sprintf("\n  stage %d (%s) runnable at pc %d (scheduler bug?)",
-				i, t.stage.Prog.Name, t.pc)
+			w.State = "barrier"
+		default:
+			w.State = "other"
 		}
+		s.Stages = append(s.Stages, w)
 	}
-	return fmt.Errorf("%s", msg)
+	for q := range e.queues {
+		s.Queues = append(s.Queues, QueueWait{Q: q, Name: e.m.Queues[q].Name, Len: e.queues[q].len()})
+	}
+	return s
 }
 
 // runThread executes up to max instructions of t, returning how many ran.
@@ -215,7 +244,7 @@ func (e *funcEngine) runThread(t *fThread, max int) (int, error) {
 	ran := 0
 	for ran < max {
 		if t.pc < 0 || t.pc >= len(prog.Instrs) {
-			return ran, fmt.Errorf("sim: %s: pc %d out of range", prog.Name, t.pc)
+			return ran, &TrapError{Stage: prog.Name, PC: t.pc, Msg: "pc out of range"}
 		}
 		in := &prog.Instrs[t.pc]
 		entry := TEntry{PC: int32(t.pc)}
@@ -241,13 +270,13 @@ func (e *funcEngine) runThread(t *fThread, max int) (int, error) {
 		case isa.OpIDiv:
 			d := t.regs[in.B].Bits
 			if d == 0 {
-				return ran, fmt.Errorf("sim: %s@%d: integer division by zero", prog.Name, t.pc)
+				return ran, &TrapError{Stage: prog.Name, PC: t.pc, Msg: "integer division by zero"}
 			}
 			t.regs[in.Dst] = IntVal(t.regs[in.A].Bits / d)
 		case isa.OpIRem:
 			d := t.regs[in.B].Bits
 			if d == 0 {
-				return ran, fmt.Errorf("sim: %s@%d: integer remainder by zero", prog.Name, t.pc)
+				return ran, &TrapError{Stage: prog.Name, PC: t.pc, Msg: "integer remainder by zero"}
 			}
 			t.regs[in.Dst] = IntVal(t.regs[in.A].Bits % d)
 		case isa.OpIAnd:
@@ -309,8 +338,8 @@ func (e *funcEngine) runThread(t *fThread, max int) (int, error) {
 			a := e.m.Slots[in.Slot]
 			idx := t.regs[in.A].Bits
 			if !a.InBounds(idx) {
-				return ran, fmt.Errorf("sim: %s@%d: load %s[%d] out of bounds (len %d)",
-					prog.Name, t.pc, a.Name, idx, a.Len())
+				return ran, &TrapError{Stage: prog.Name, PC: t.pc,
+					Msg: fmt.Sprintf("load %s[%d] out of bounds (len %d)", a.Name, idx, a.Len())}
 			}
 			entry.Addr = a.Addr(idx)
 			t.regs[in.Dst] = loadValue(a, idx)
@@ -325,8 +354,8 @@ func (e *funcEngine) runThread(t *fThread, max int) (int, error) {
 			a := e.m.Slots[in.Slot]
 			idx := t.regs[in.A].Bits
 			if !a.InBounds(idx) {
-				return ran, fmt.Errorf("sim: %s@%d: store %s[%d] out of bounds (len %d)",
-					prog.Name, t.pc, a.Name, idx, a.Len())
+				return ran, &TrapError{Stage: prog.Name, PC: t.pc,
+					Msg: fmt.Sprintf("store %s[%d] out of bounds (len %d)", a.Name, idx, a.Len())}
 			}
 			entry.Addr = a.Addr(idx)
 			storeValue(a, idx, t.regs[in.B])
@@ -411,7 +440,8 @@ func (e *funcEngine) runThread(t *fThread, max int) (int, error) {
 			}
 			e.m.Slots[in.Slot], e.m.Slots[in.Slot2] = e.m.Slots[in.Slot2], e.m.Slots[in.Slot]
 		default:
-			return ran, fmt.Errorf("sim: %s@%d: unimplemented op %v", prog.Name, t.pc, in.Op)
+			return ran, &TrapError{Stage: prog.Name, PC: t.pc,
+				Msg: fmt.Sprintf("unimplemented op %v", in.Op)}
 		}
 		t.trace = append(t.trace, entry)
 		e.total++
@@ -460,7 +490,8 @@ func (e *funcEngine) propagateRAs() (bool, error) {
 				anyRound = true
 				if v.Ctrl {
 					if ra.hasStart {
-						return moved, fmt.Errorf("sim: RA %s: control value between SCAN start/end pair", spec.Name)
+						return moved, &TrapError{Stage: "ra:" + spec.Name, PC: -1,
+							Msg: "control value between SCAN start/end pair"}
 					}
 					outq.push(v)
 					ra.trace = append(ra.trace, RAEvent{Kind: RAPass})
@@ -470,8 +501,8 @@ func (e *funcEngine) propagateRAs() (bool, error) {
 				case arch.RAIndirect:
 					idx := v.Bits
 					if !arr.InBounds(idx) {
-						return moved, fmt.Errorf("sim: RA %s: index %d out of bounds for %s (len %d)",
-							spec.Name, idx, arr.Name, arr.Len())
+						return moved, &TrapError{Stage: "ra:" + spec.Name, PC: -1,
+							Msg: fmt.Sprintf("index %d out of bounds for %s (len %d)", idx, arr.Name, arr.Len())}
 					}
 					outq.push(loadValue(arr, idx))
 					ra.trace = append(ra.trace, RAEvent{Kind: RALoad, Addr: arr.Addr(idx)})
@@ -484,8 +515,8 @@ func (e *funcEngine) propagateRAs() (bool, error) {
 					start, end := ra.pendStart.Bits, v.Bits
 					ra.hasStart = false
 					if start < 0 || end < start || (end > start && !arr.InBounds(end-1)) {
-						return moved, fmt.Errorf("sim: RA %s: scan range [%d,%d) out of bounds for %s (len %d)",
-							spec.Name, start, end, arr.Name, arr.Len())
+						return moved, &TrapError{Stage: "ra:" + spec.Name, PC: -1,
+							Msg: fmt.Sprintf("scan range [%d,%d) out of bounds for %s (len %d)", start, end, arr.Name, arr.Len())}
 					}
 					for i := start; i < end; i++ {
 						outq.push(loadValue(arr, i))

@@ -53,8 +53,14 @@ type Machine struct {
 	Stages []*Stage
 
 	// MaxTraceEntries caps functional-trace growth (guards against runaway
-	// programs). Zero means the default of 64M entries.
+	// or livelocked programs). Zero means the default of 64M entries;
+	// exceeding the cap fails the run with *TraceLimitError.
 	MaxTraceEntries int
+
+	// Faults, when non-nil, injects deterministic timing-only perturbations
+	// into the timing phase (see TimingFaults). Functional results are
+	// unaffected by construction.
+	Faults *TimingFaults
 }
 
 // NewMachine creates a machine with the given configuration and an empty

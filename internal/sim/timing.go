@@ -1,9 +1,9 @@
 package sim
 
 import (
-	"fmt"
 	"math"
 
+	"phloem/internal/arch"
 	"phloem/internal/cache"
 	"phloem/internal/isa"
 )
@@ -17,10 +17,10 @@ import (
 // traces with a bounded outstanding-miss window and in-order delivery.
 
 const (
-	issueScanCap = 48 // unissued entries examined per thread per cycle
-	predBits     = 12
-	idleLimit    = 1 << 20 // cycles without progress before declaring deadlock
-	farFuture    = math.MaxUint64 / 4
+	issueScanCap     = 48 // unissued entries examined per thread per cycle
+	predBits         = 12
+	defaultIdleLimit = 1 << 20 // cycles without progress before declaring deadlock
+	farFuture        = math.MaxUint64 / 4
 )
 
 type winEntry struct {
@@ -37,6 +37,7 @@ type winEntry struct {
 
 type tThread struct {
 	core  int
+	slot  int // SMT thread index on the core
 	prog  *isa.Program
 	trace []TEntry
 	name  string
@@ -124,6 +125,38 @@ type timingEngine struct {
 	stats    Stats
 	queueOps uint64
 	raEvents uint64
+	// memN numbers memory accesses for the MemLatency fault hook; ctrlN
+	// numbers control-value enqueues per queue for CtrlDelay.
+	memN  uint64
+	ctrlN []uint64
+}
+
+// extraMemLatency consults the MemLatency fault hook for the next access.
+func (e *timingEngine) extraMemLatency() uint64 {
+	f := e.m.Faults
+	if f == nil || f.MemLatency == nil {
+		return 0
+	}
+	d := f.MemLatency(e.memN)
+	e.memN++
+	return d
+}
+
+// ctrlDelay consults the CtrlDelay fault hook for a control enqueue on q.
+func (e *timingEngine) ctrlDelay(q int) uint64 {
+	f := e.m.Faults
+	if f == nil || f.CtrlDelay == nil {
+		return 0
+	}
+	d := f.CtrlDelay(q, e.ctrlN[q])
+	e.ctrlN[q]++
+	return d
+}
+
+// stalled consults the ThreadStall fault hook for thread t at e.now.
+func (e *timingEngine) stalled(t *tThread) bool {
+	f := e.m.Faults
+	return f != nil && f.ThreadStall != nil && f.ThreadStall(t.core, t.slot, e.now)
 }
 
 // RunTiming replays traces and returns timing statistics. The Machine must be
@@ -139,6 +172,7 @@ func (m *Machine) RunTiming(ts *TraceSet) (*Stats, error) {
 		}
 		t := &tThread{
 			core:        st.Thread.Core,
+			slot:        st.Thread.Thread,
 			prog:        st.Prog,
 			trace:       ts.Threads[i],
 			name:        st.Prog.Name,
@@ -160,12 +194,13 @@ func (m *Machine) RunTiming(ts *TraceSet) (*Stats, error) {
 		e.byCore[t.core] = append(e.byCore[t.core], t)
 	}
 	for q := range m.Queues {
-		e.queues = append(e.queues, &tQueue{cap: m.queueDepth(q)})
+		e.queues = append(e.queues, &tQueue{cap: m.queueCap(q)})
 	}
+	e.ctrlN = make([]uint64, len(m.Queues))
 	for i, spec := range m.RAs {
 		ra := &tRA{
 			core: spec.Core, events: ts.RA[i], inQ: spec.InQ, outQ: spec.OutQ,
-			outstanding: m.Cfg.RAOutstanding,
+			outstanding: m.raWindow(i),
 		}
 		e.ras = append(e.ras, ra)
 		e.rasByCore[spec.Core] = append(e.rasByCore[spec.Core], ra)
@@ -197,8 +232,21 @@ func (m *Machine) RunTiming(ts *TraceSet) (*Stats, error) {
 	e.stats.Instructions = ts.Instructions
 
 	if err := e.run(); err != nil {
+		// On a budget abort, attach the partial stats accumulated so far so
+		// the caller can still see how the aborted run spent its cycles.
+		if be, ok := err.(*CycleBudgetError); ok {
+			e.finishStats()
+			be.Stats = &e.stats
+		}
 		return nil, err
 	}
+	e.finishStats()
+	return &e.stats, nil
+}
+
+// finishStats fills in the derived statistics (cycles, cache, energy,
+// per-thread counts) from the engine's current state.
+func (e *timingEngine) finishStats() {
 	e.stats.Cycles = e.now
 	e.stats.Cache = e.hier.Stats()
 	active := 0
@@ -211,12 +259,19 @@ func (m *Machine) RunTiming(ts *TraceSet) (*Stats, error) {
 	for _, t := range e.threads {
 		e.stats.Threads = append(e.stats.Threads, ThreadStats{Name: t.name, Instructions: uint64(len(t.trace))})
 	}
-	return &e.stats, nil
 }
 
 func (e *timingEngine) run() error {
-	idle := 0
+	idle := uint64(0)
+	idleLimit := e.m.Cfg.IdleLimit
+	if idleLimit == 0 {
+		idleLimit = defaultIdleLimit
+	}
+	budget := e.m.Cfg.CycleBudget
 	for {
+		if budget != 0 && e.now >= budget {
+			return &CycleBudgetError{Budget: budget, Cycles: e.now}
+		}
 		done := true
 		for _, t := range e.threads {
 			if !t.finished {
@@ -329,31 +384,85 @@ func (e *timingEngine) run() error {
 		idle++
 		e.now++
 		if idle > idleLimit {
-			return e.timingDeadlock()
+			return &DeadlockError{Snapshot: e.snapshot(), IdleCycles: idle}
 		}
 	}
 }
 
-func (e *timingEngine) timingDeadlock() error {
-	msg := "sim: timing deadlock:"
+// snapshot captures the timing engine's wait-for state: which stage blocks
+// on which queue (full/empty), RA window occupancy, and per-thread retire
+// watermarks.
+func (e *timingEngine) snapshot() *WaitForSnapshot {
+	s := &WaitForSnapshot{Phase: "timing", Cycle: e.now}
 	for _, t := range e.threads {
 		if t.finished {
 			continue
 		}
-		pc := int32(-1)
-		detail := ""
-		if t.count > 0 {
-			h := &t.win[t.head]
-			pc = t.trace[h.seq].PC
-			detail = fmt.Sprintf(" head={%s issued=%v srcA=%d(ready %v) srcB=%d(ready %v) dep=%d}",
-				h.instr.String(), h.issued,
-				h.srcASeq, t.producerReady(h.srcASeq, e.now),
-				h.srcBSeq, t.producerReady(h.srcBSeq, e.now), h.depSeq)
+		w := StageWait{
+			Stage:   t.name,
+			Thread:  arch.ThreadID{Core: t.core, Thread: t.slot},
+			PC:      -1,
+			Fetched: t.fetchIdx,
+			Total:   len(t.trace),
+			Retired: uint64(t.baseSeq),
 		}
-		msg += fmt.Sprintf("\n  %s: fetch %d/%d window=%d headPC=%d redirectSeq=%d dirty=%v wakeAt=%d now=%d scanFrom=%d%s",
-			t.name, t.fetchIdx, len(t.trace), t.count, pc, t.redirectSeq, t.dirty, t.wakeAt, e.now, t.scanFrom, detail)
+		if t.count == 0 {
+			w.State = "window-empty"
+		} else {
+			h := &t.win[t.head]
+			w.PC = t.trace[h.seq].PC
+			in := h.instr
+			switch {
+			case h.issued:
+				w.State = "in-flight"
+			case in.Op == isa.OpDeq || in.Op == isa.OpPeek:
+				w.State = "deq-empty"
+				w.Queue = e.queueWait(in.Q)
+			case in.Op == isa.OpEnq || in.Op == isa.OpEnqCtrl || in.Op == isa.OpEnqCtrlV:
+				w.State = "enq-full"
+				w.Queue = e.queueWait(in.Q)
+			case in.Op == isa.OpBarrier && !h.released:
+				w.State = "barrier"
+			case in.Op == isa.OpLoad:
+				w.State = "mem"
+			default:
+				w.State = "other"
+			}
+		}
+		s.Stages = append(s.Stages, w)
 	}
-	return fmt.Errorf("%s", msg)
+	for i, ra := range e.ras {
+		if ra.idx >= len(ra.events) && ra.ifHead >= len(ra.inflight) {
+			continue
+		}
+		next := "done"
+		if ra.idx < len(ra.events) {
+			switch ra.events[ra.idx].Kind {
+			case RAConsume:
+				next = "consume"
+			case RALoad:
+				next = "load"
+			default:
+				next = "pass"
+			}
+		}
+		s.RAs = append(s.RAs, RAWait{
+			Name:     e.m.RAs[i].Name,
+			Inflight: len(ra.inflight) - ra.ifHead,
+			Window:   ra.outstanding,
+			Next:     next,
+			In:       *e.queueWait(ra.inQ),
+			Out:      *e.queueWait(ra.outQ),
+		})
+	}
+	for q := range e.queues {
+		s.Queues = append(s.Queues, *e.queueWait(q))
+	}
+	return s
+}
+
+func (e *timingEngine) queueWait(q int) *QueueWait {
+	return &QueueWait{Q: q, Name: e.m.Queues[q].Name, Len: e.queues[q].len(), Cap: e.queues[q].cap}
 }
 
 // mshrAvailable reports whether the core can start another L1 miss at e.now,
@@ -569,6 +678,12 @@ func (e *timingEngine) issueCore(c int) (issued int, blockQ, blockMem bool) {
 		if t.finished || budget == 0 {
 			continue
 		}
+		if e.stalled(t) {
+			// Barred from issuing this cycle; stay dirty so the thread
+			// rescans as soon as the stall window ends.
+			t.dirty = true
+			continue
+		}
 		if !t.dirty && e.now < t.wakeAt {
 			blockQ = blockQ || t.lastQB
 			blockMem = blockMem || t.lastMB
@@ -739,6 +854,7 @@ func (e *timingEngine) tryIssue(t *tThread, en *winEntry) (ok, blockQ, blockMem 
 	switch in.Op {
 	case isa.OpLoad:
 		lat, missed := e.hier.Access(t.core, te.Addr, e.now)
+		lat += e.extraMemLatency()
 		done = e.now + lat
 		if missed {
 			e.mshrs[t.core] = append(e.mshrs[t.core], done)
@@ -754,8 +870,16 @@ func (e *timingEngine) tryIssue(t *tThread, en *winEntry) (ok, blockQ, blockMem 
 			e.hier.Access(t.core, te.Addr, e.now)
 		}
 		done = e.now + 1
-	case isa.OpEnq, isa.OpEnqCtrl, isa.OpEnqCtrlV:
+	case isa.OpEnq:
 		e.queues[in.Q].push(e.now + 1)
+		e.wakeConsumer(in.Q)
+		e.queueOps++
+		done = e.now + 1
+	case isa.OpEnqCtrl, isa.OpEnqCtrlV:
+		// Control values may be delivered late under fault injection; the
+		// token sits in the queue but is not visible to the consumer until
+		// its readyAt cycle, which delays everything FIFO-behind it too.
+		e.queues[in.Q].push(e.now + 1 + e.ctrlDelay(in.Q))
 		e.wakeConsumer(in.Q)
 		e.queueOps++
 		done = e.now + 1
@@ -820,6 +944,7 @@ func (e *timingEngine) tickRA(ra *tRA) bool {
 				return moved
 			}
 			lat, _ := e.hier.Access(ra.core, ev.Addr, e.now)
+			lat += e.extraMemLatency()
 			ra.inflight = append(ra.inflight, e.now+lat)
 			ra.loads++
 			loadsStarted++

@@ -84,11 +84,12 @@ func TestAutotuneBFS(t *testing.T) {
 	opt.Mode = core.Autotune
 	for _, in := range bench.Train {
 		in := in
-		opt.Training = append(opt.Training, func(p *pipeline.Pipeline) (uint64, error) {
+		opt.Training = append(opt.Training, func(p *pipeline.Pipeline, b core.Budget) (uint64, error) {
 			inst, err := pipeline.Instantiate(p, arch.DefaultConfig(1), in.Bind())
 			if err != nil {
 				return 0, err
 			}
+			b.Apply(inst.Machine)
 			st, err := inst.Run()
 			if err != nil {
 				return 0, err

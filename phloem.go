@@ -29,6 +29,18 @@ type Options = core.Options
 // Result is a compiled pipeline.
 type Result = core.Result
 
+// Budget bounds one candidate measurement in the autotune search; apply it
+// to the instantiated machine with Budget.Apply.
+type Budget = core.Budget
+
+// TrainFunc measures a candidate pipeline on one training input under a
+// budget, returning its cycle count (or an error to skip the candidate).
+type TrainFunc = core.TrainFunc
+
+// CandidateSkip records one candidate the autotuner dropped and why (see
+// Result.Skips).
+type CandidateSkip = core.CandidateSkip
+
 // Pipeline is the compiler's output: stages, queues, and reference
 // accelerators.
 type Pipeline = pipeline.Pipeline

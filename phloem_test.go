@@ -82,8 +82,8 @@ func TestPublicAPICompileErrors(t *testing.T) {
 func TestAutotuneMode(t *testing.T) {
 	opt := phloem.DefaultOptions()
 	opt.Mode = phloem.Autotune
-	opt.Training = []func(*phloem.Pipeline) (uint64, error){
-		func(p *phloem.Pipeline) (uint64, error) {
+	opt.Training = []phloem.TrainFunc{
+		func(p *phloem.Pipeline, _ phloem.Budget) (uint64, error) {
 			st, _, err := phloem.Run(p, phloem.DefaultMachine(1), bindings(400))
 			if err != nil {
 				return 0, err
