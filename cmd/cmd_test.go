@@ -102,6 +102,120 @@ void k(int* restrict a, int* restrict b, int* restrict out, int n) {
 	}
 }
 
+// TestPhloemcLintExitCodes asserts the documented contract: 0 clean (or
+// warnings only), 1 compile failure or verifier errors, 2 usage errors.
+// It also requires -lint output to be byte-identical across runs.
+func TestPhloemcLintExitCodes(t *testing.T) {
+	exitCode := func(args ...string) (int, string) {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(binDir, "phloemc"), args...)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return 0, string(out)
+		}
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("phloemc %v: %v\n%s", args, err, out)
+		}
+		return ee.ExitCode(), string(out)
+	}
+
+	clean := filepath.Join(t.TempDir(), "clean.c")
+	os.WriteFile(clean, []byte(`
+#pragma phloem
+void k(int* restrict a, int* restrict out, int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    out[i] = a[i] + 1;
+  }
+}
+`), 0o644)
+	if code, out := exitCode("-lint", clean); code != 0 {
+		t.Errorf("clean kernel: exit %d, want 0:\n%s", code, out)
+	}
+
+	// Warnings (non-restrict params proven safe) still exit 0.
+	warn := filepath.Join(t.TempDir(), "warn.c")
+	os.WriteFile(warn, []byte(`
+#pragma phloem
+void k(int* a, int* b, int* restrict out, int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    out[i] = a[i] + b[i];
+  }
+}
+`), 0o644)
+	code, out := exitCode("-lint", warn)
+	if code != 0 {
+		t.Errorf("warnings-only kernel: exit %d, want 0:\n%s", code, out)
+	}
+	if !strings.Contains(out, "[E0]") || !strings.Contains(out, "proved its accesses safe") {
+		t.Errorf("lint should surface the E0 warnings:\n%s", out)
+	}
+
+	// Determinism: two runs render byte-identical output.
+	_, out2 := exitCode("-lint", warn)
+	if out != out2 {
+		t.Errorf("lint output differs between runs:\n--- first ---\n%s--- second ---\n%s", out, out2)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.c")
+	os.WriteFile(bad, []byte("void k(int n) { undefined_thing; }"), 0o644)
+	if code, out := exitCode("-lint", bad); code != 1 {
+		t.Errorf("compile failure: exit %d, want 1:\n%s", code, out)
+	}
+	if code, out := exitCode("-lint", clean, "extra-arg"); code != 2 {
+		t.Errorf("usage error: exit %d, want 2:\n%s", code, out)
+	}
+	if code, _ := exitCode("-lint", filepath.Join(t.TempDir(), "missing.c")); code != 1 {
+		t.Errorf("unreadable file: exit %d, want 1", code)
+	}
+}
+
+// TestPhloemcEffects drives the -effects report on a provably-safe kernel
+// and on one the analysis must reject.
+func TestPhloemcEffects(t *testing.T) {
+	safe := filepath.Join(t.TempDir(), "safe.c")
+	os.WriteFile(safe, []byte(`
+#pragma phloem
+void spmv(int* rows, int* cols, float* restrict vals,
+          float* restrict x, float* restrict y, int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    float acc = 0.0;
+    int kEnd = rows[i + 1];
+    for (int k = rows[i]; k < kEnd; k = k + 1) {
+      int c = cols[k];
+      acc = acc + vals[k] * x[c];
+    }
+    y[i] = acc;
+  }
+}
+`), 0o644)
+	out := run(t, "phloemc", "-effects", safe)
+	for _, want := range []string{"effects spmv:", "cols/rows", "no-conflict", "stats: pairs="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-effects output missing %q:\n%s", want, out)
+		}
+	}
+
+	aliased := filepath.Join(t.TempDir(), "aliased.c")
+	os.WriteFile(aliased, []byte(`
+#pragma phloem
+void k(int* idx, int* data, int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    int j = idx[i];
+    data[j] = i;
+  }
+}
+`), 0o644)
+	cmd := exec.Command(filepath.Join(binDir, "phloemc"), "-effects", aliased)
+	broken, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("-effects on a may-alias kernel should exit non-zero:\n%s", broken)
+	}
+	if !strings.Contains(string(broken), "[E0]") || !strings.Contains(string(broken), "may-alias") {
+		t.Errorf("-effects should show the may-alias verdict and E0 error:\n%s", broken)
+	}
+}
+
 func TestPhloemcRejectsBadInput(t *testing.T) {
 	f := filepath.Join(t.TempDir(), "bad.c")
 	os.WriteFile(f, []byte("void k(int n) { undefined_thing; }"), 0o644)

@@ -6,11 +6,20 @@
 // compiled pipeline and prints every diagnostic (warnings included, which
 // a normal compile does not reject), exiting non-zero if any are errors.
 //
+// With -effects it stops after the frontend and prints the memory-effects
+// analysis: per-parameter points-to sets, the MOD/REF summary of every
+// array access, and the alias verdict for each parameter pair. Exits 1
+// when the kernel has a may-alias conflict the analysis cannot prove safe.
+//
+// Exit codes: 0 clean (warnings allowed), 1 compile or verifier errors,
+// 2 usage errors.
+//
 // Usage:
 //
 //	phloemc kernel.c
 //	phloemc -threads 4 -passes Q,R,CV -dump kernel.c
 //	phloemc -lint kernel.c
+//	phloemc -effects kernel.c
 package main
 
 import (
@@ -21,9 +30,11 @@ import (
 
 	"phloem/internal/arch"
 	"phloem/internal/core"
+	"phloem/internal/effects"
 	"phloem/internal/ir"
 	"phloem/internal/passes"
 	"phloem/internal/pipeline"
+	"phloem/internal/source"
 	"phloem/internal/verify"
 )
 
@@ -48,6 +59,8 @@ func main() {
 		"comma-separated passes: Q (always on), R, RA, CV, CH, DCE, or 'all'")
 	dump := flag.Bool("dump", false, "print per-stage IR")
 	lint := flag.Bool("lint", false, "run the static pipeline verifier and print its report")
+	effDump := flag.Bool("effects", false,
+		"print the frontend memory-effects analysis (points-to, MOD/REF, alias verdicts) and stop")
 	lintInject := flag.Bool("lint-inject", false,
 		"with -lint: inject a control-protocol violation first (demonstration)")
 	flag.Parse()
@@ -88,6 +101,27 @@ func main() {
 		opt.Passes = p
 	}
 
+	if *effDump {
+		fn, err := source.Parse(string(src))
+		if err == nil {
+			err = source.Check(fn)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phloemc:", err)
+			os.Exit(1)
+		}
+		eff := effects.Analyze(fn)
+		fmt.Print(eff.Dump())
+		for _, w := range eff.Warnings() {
+			fmt.Println(w)
+		}
+		if err := eff.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "phloemc:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *lint {
 		// Lint compiles with verification deferred so the full report —
 		// warnings included — can be printed, rather than just the first
@@ -100,6 +134,9 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "phloemc:", err)
 			os.Exit(1)
+		}
+		for _, w := range res.SourceWarnings {
+			fmt.Println(w)
 		}
 		rep := verify.Check(res.Pipeline)
 		if len(rep.Diags) == 0 {
@@ -120,7 +157,7 @@ func main() {
 	}
 	fmt.Print(res.Pipeline.Describe())
 	if *dump {
-		fmt.Println()
+		fmt.Printf("\nalias: %s\n\n", res.AliasStats)
 		fmt.Print(res.Pipeline.DumpStages())
 	}
 }

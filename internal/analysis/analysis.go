@@ -217,15 +217,27 @@ func (a *Analyzer) collectStores(list []ir.Stmt) {
 	}
 }
 
-// allowedByRaceRule applies Fig. 4's rule: a load of a slot that the phase
-// also stores cannot move to another stage — unless the slot is part of a
-// swap class, whose accesses are epoch-synchronized by the double-buffer
-// flip.
+// allowedByRaceRule applies Fig. 4's rule over proven memory effects rather
+// than slot identity alone: a load cannot move to another stage when the
+// phase stores any slot whose write set may reach the loaded slot — itself,
+// or a distinct slot the frontend's effects analysis could not prove
+// disjoint (Prog.Alias). Swap classes are exempt either way: the
+// double-buffer flip epoch-synchronizes their accesses. For fully
+// restrict-qualified kernels every cross-slot verdict is disjoint, so this
+// reduces to the original identity rule bit-for-bit.
 func (a *Analyzer) allowedByRaceRule(slot int) bool {
-	if !a.storedSlots[slot] {
-		return true
+	if a.storedSlots[slot] && !a.Swapped(slot) {
+		return false
 	}
-	return a.Swapped(slot)
+	for s := range a.storedSlots {
+		if s == slot || a.SameClass(s, slot) {
+			continue
+		}
+		if a.P.Alias.Conflicts(a.P.Slots[s].Name, a.P.Slots[slot].Name) {
+			return false
+		}
+	}
+	return true
 }
 
 // classify fills in Cost and Rank. A load is sequential when its index is

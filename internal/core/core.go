@@ -11,6 +11,7 @@ import (
 
 	"phloem/internal/analysis"
 	"phloem/internal/arch"
+	"phloem/internal/effects"
 	"phloem/internal/ir"
 	"phloem/internal/lower"
 	"phloem/internal/passes"
@@ -90,9 +91,20 @@ type Result struct {
 	// Skips records every candidate the autotuner dropped and why
 	// (autotune mode only).
 	Skips []CandidateSkip
+	// AliasStats counts the effects analysis's parameter-pair verdicts
+	// (CompileSource only; zero for hand-built programs).
+	AliasStats effects.Stats
+	// SourceWarnings carries non-fatal frontend diagnostics, e.g. array
+	// parameters compiled without restrict because the effects analysis
+	// proved them safe.
+	SourceWarnings []effects.Warning
 }
 
 // CompileSource parses, checks, and lowers source, then builds a pipeline.
+// Between Check and lowering it runs the memory-effects analysis: kernels
+// whose array parameters may alias with an unprovable dependence are
+// rejected here with a positioned E0 error; unannotated-but-proven-safe
+// parameters compile with a warning on Result.SourceWarnings.
 func CompileSource(src string, opt Options) (*Result, error) {
 	fn, err := source.Parse(src)
 	if err != nil {
@@ -101,11 +113,21 @@ func CompileSource(src string, opt Options) (*Result, error) {
 	if err := source.Check(fn); err != nil {
 		return nil, fmt.Errorf("core: check: %w", err)
 	}
+	eff := effects.Analyze(fn)
+	if err := eff.Err(); err != nil {
+		return nil, fmt.Errorf("core: effects: %w", err)
+	}
 	p, err := lower.FromAST(fn)
 	if err != nil {
 		return nil, fmt.Errorf("core: lower: %w", err)
 	}
-	return Compile(p, opt)
+	res, err := Compile(p, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.AliasStats = eff.Stats
+	res.SourceWarnings = eff.Warnings()
+	return res, nil
 }
 
 // Compile builds a pipeline from an already-lowered program. No panic from

@@ -1,0 +1,139 @@
+package effects
+
+// Golden-file test of the Dump format (`phloemc -effects` output) over the
+// benchmark kernels and the deliberately aliased BFS variant. Regenerate
+// with
+//
+//	go test ./internal/effects -run TestDumpGoldens -update
+//
+// after an intentional format change, and review the diff.
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"phloem/internal/source"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestDumpGoldens(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"bfs", `
+#pragma phloem
+void bfs(int* restrict nodes, int* restrict edges, int* restrict distances,
+         int* restrict cur_fringe, int* restrict next_fringe,
+         int root, int n) {
+  int cur_size = 1;
+  int next_size = 0;
+  int cur_dist = 1;
+  while (cur_size > 0) {
+    for (int i = 0; i < cur_size; i = i + 1) {
+      int v = cur_fringe[i];
+      int edge_start = nodes[v];
+      int edge_end = nodes[v + 1];
+      for (int e = edge_start; e < edge_end; e = e + 1) {
+        int ngh = edges[e];
+        int old_dist = distances[ngh];
+        if (cur_dist < old_dist) {
+          distances[ngh] = cur_dist;
+          next_fringe[next_size] = ngh;
+          next_size = next_size + 1;
+        }
+      }
+    }
+    swap(cur_fringe, next_fringe);
+    cur_size = next_size;
+    next_size = 0;
+    cur_dist = cur_dist + 1;
+  }
+}`},
+		{"bfs_aliased", `
+#pragma phloem
+void bfs(int* restrict nodes, int* edges, int* distances,
+         int* restrict cur_fringe, int* restrict next_fringe,
+         int root, int n) {
+  int cur_size = 1;
+  while (cur_size > 0) {
+    for (int i = 0; i < cur_size; i = i + 1) {
+      int v = cur_fringe[i];
+      for (int e = nodes[v]; e < nodes[v + 1]; e = e + 1) {
+        int ngh = edges[e];
+        if (1 < distances[ngh]) {
+          distances[ngh] = 1;
+        }
+      }
+    }
+    swap(cur_fringe, next_fringe);
+    cur_size = 0;
+  }
+}`},
+		{"prd_apply", `
+#pragma phloem
+void prd_apply(float* rank, float* delta, float* next_delta, int n) {
+  for (int u = 0; u < n; u = u + 1) {
+    float nd = next_delta[u];
+    rank[u] = rank[u] + nd;
+    delta[u] = nd;
+    next_delta[u] = 0.0;
+  }
+}`},
+		{"spmv_norestrict", `
+#pragma phloem
+void spmv(int* rows, int* cols, float* restrict vals,
+          float* restrict x, float* restrict y, int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    float acc = 0.0;
+    int kEnd = rows[i + 1];
+    for (int k = rows[i]; k < kEnd; k = k + 1) {
+      int c = cols[k];
+      acc = acc + vals[k] * x[c];
+    }
+    y[i] = acc;
+  }
+}`},
+	}
+	var sb strings.Builder
+	for _, c := range cases {
+		fn, err := source.Parse(c.src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.name, err)
+		}
+		if err := source.Check(fn); err != nil {
+			t.Fatalf("%s: check: %v", c.name, err)
+		}
+		a := Analyze(fn)
+		sb.WriteString("== " + c.name + "\n")
+		sb.WriteString(a.Dump())
+		for _, w := range a.Warnings() {
+			sb.WriteString(w.String() + "\n")
+		}
+		if err := a.Err(); err != nil {
+			sb.WriteString("error: " + err.Error() + "\n")
+		}
+	}
+	got := sb.String()
+
+	path := filepath.Join("testdata", "dumps.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("dump differs from %s (run with -update after intentional changes)\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}

@@ -1,0 +1,85 @@
+package ir
+
+// AliasVerdict classifies one unordered pair of array slots by what the
+// frontend's memory-effects analysis (internal/effects) could prove about
+// them. The lattice is ordered from strongest to weakest guarantee; anything
+// the analysis cannot place lands on AliasMayConflict.
+type AliasVerdict uint8
+
+const (
+	// AliasDisjoint: the points-to sets do not intersect (restrict
+	// qualification, or int*/float* kind separation). Accesses can be
+	// reordered freely across stages.
+	AliasDisjoint AliasVerdict = iota
+	// AliasNoConflict: the arrays may refer to the same storage, but no
+	// access pair includes a write, so overlap is harmless.
+	AliasNoConflict
+	// AliasBenign: the arrays may overlap and are written, but every
+	// conflicting access pair is affine on the same induction variable at
+	// distance 0 — overlap only ever touches the same element within one
+	// iteration, so there is no loop-carried dependence. Safe to compile,
+	// but decoupling must keep the accesses in one stage.
+	AliasBenign
+	// AliasSwapSync: the arrays are exchanged by swap() (double buffering);
+	// their accesses are epoch-synchronized by the buffer flip, exactly like
+	// the swap-class exemption of the Fig. 4 race rule.
+	AliasSwapSync
+	// AliasMayConflict: a write may race a conflicting access at an
+	// unprovable distance (indirect index, mismatched induction roots).
+	// Compilation of #pragma phloem kernels is rejected.
+	AliasMayConflict
+)
+
+var aliasVerdictNames = [...]string{
+	"disjoint", "no-conflict", "benign", "swap-sync", "may-alias",
+}
+
+func (v AliasVerdict) String() string { return aliasVerdictNames[v] }
+
+// AliasInfo records the effects analysis's verdict for every unordered pair
+// of array parameters, keyed by slot name. A nil *AliasInfo means "identity
+// aliasing": distinct slots are disjoint and a slot conflicts only with
+// itself — the assumption the compiler historically made for
+// restrict-qualified kernels, and the right default for hand-built programs
+// whose slot tables never came from source.
+type AliasInfo struct {
+	// Pairs maps a name-sorted slot pair to its verdict. Absent pairs are
+	// AliasDisjoint.
+	Pairs map[[2]string]AliasVerdict
+}
+
+// PairKey builds the canonical (sorted) map key for two slot names.
+func PairKey(a, b string) [2]string {
+	if b < a {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Verdict returns the verdict for two slot names. Equal names always
+// conflict (a slot aliases itself); unknown pairs are disjoint.
+func (ai *AliasInfo) Verdict(a, b string) AliasVerdict {
+	if a == b {
+		return AliasMayConflict
+	}
+	if ai == nil {
+		return AliasDisjoint
+	}
+	if v, ok := ai.Pairs[PairKey(a, b)]; ok {
+		return v
+	}
+	return AliasDisjoint
+}
+
+// Conflicts reports whether accesses to the two named slots may touch the
+// same element (a write to one can be observed through the other). Benign
+// and swap-synchronized pairs conflict — they are compilable, but only
+// because some other mechanism (same-stage placement, the epoch flip)
+// orders their accesses; callers exempt swap classes themselves.
+func (ai *AliasInfo) Conflicts(a, b string) bool {
+	switch ai.Verdict(a, b) {
+	case AliasDisjoint, AliasNoConflict:
+		return false
+	}
+	return true
+}

@@ -273,6 +273,9 @@ type Prog struct {
 	// Replicate and Distribute mirror the source pragmas.
 	Replicate  int
 	Distribute bool
+	// Alias carries the frontend effects analysis's verdict per slot-name
+	// pair (nil: identity aliasing — distinct slots are disjoint).
+	Alias *AliasInfo
 }
 
 // NewVar appends a fresh variable and returns it.

@@ -8,16 +8,20 @@ import (
 	"fmt"
 	"math"
 
+	"phloem/internal/effects"
 	"phloem/internal/ir"
 	"phloem/internal/source"
 )
 
 // FromAST lowers a type-checked function to Phloem IR. Expressions are
 // normalized to shallow operations over virtual variables; short-circuit
-// logic and builtins become explicit control flow.
+// logic and builtins become explicit control flow. The frontend's
+// memory-effects verdicts ride along on Prog.Alias so the race rule and the
+// static verifier reason about proven aliasing rather than assuming it.
 func FromAST(fn *source.Function) (*ir.Prog, error) {
 	lw := &astLowerer{
-		p:      &ir.Prog{Name: fn.Name, Replicate: fn.Pragmas.Replicate, Distribute: fn.Pragmas.Distribute},
+		p: &ir.Prog{Name: fn.Name, Replicate: fn.Pragmas.Replicate, Distribute: fn.Pragmas.Distribute,
+			Alias: effects.Analyze(fn).AliasInfo()},
 		scopes: []map[string]binding{{}},
 	}
 	for _, prm := range fn.Params {

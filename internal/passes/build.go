@@ -326,34 +326,67 @@ func (pl *plan) stageActs(s, depth int) bool {
 
 // checkRaceRule rejects point sets that split a read-write array's accesses
 // across stages (Fig. 4); arrays in a swap class are epoch-synchronized and
-// exempt.
+// exempt. Accesses are compared per may-alias group: distinct slots the
+// frontend's effects analysis could not prove disjoint (Prog.Alias) are
+// unioned and must co-locate just like accesses to one array. Restrict
+// kernels have all cross-slot verdicts disjoint, so every group is a
+// singleton and this is the historical per-slot rule.
 func (pl *plan) checkRaceRule() error {
 	pl.collectSlotAccess()
+	rep := make([]int, len(pl.p.Slots))
+	for i := range rep {
+		rep[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if rep[i] != i {
+			rep[i] = find(rep[i])
+		}
+		return rep[i]
+	}
+	conflicts := func(a, b int) bool {
+		if pl.p.Alias == nil || a == b {
+			return false
+		}
+		if pl.swappedSlots[a] && pl.swappedSlots[b] {
+			return false // a shared swap epoch synchronizes the pair
+		}
+		return pl.p.Alias.Conflicts(pl.p.Slots[a].Name, pl.p.Slots[b].Name)
+	}
+	hasPartner := make([]bool, len(pl.p.Slots))
+	for a := range pl.p.Slots {
+		for b := a + 1; b < len(pl.p.Slots); b++ {
+			if conflicts(a, b) {
+				rep[find(a)] = find(b)
+				hasPartner[a], hasPartner[b] = true, true
+			}
+		}
+	}
 	loadStage := map[int]int{}
 	storeStage := map[int]int{}
 	bad := -1
 	var walk func(list []ir.Stmt)
 	record := func(m map[int]int, slot, stage int) {
-		if prev, ok := m[slot]; ok && prev != stage {
+		g := find(slot)
+		if prev, ok := m[g]; ok && prev != stage {
 			bad = slot
 		}
-		m[slot] = stage
+		m[g] = stage
 	}
 	walk = func(list []ir.Stmt) {
 		for _, s := range list {
 			switch s := s.(type) {
 			case *ir.Assign:
-				if ld, ok := s.Src.(*ir.RvalLoad); ok &&
-					pl.storedSlots[ld.Slot] && !pl.swappedSlots[ld.Slot] {
+				if ld, ok := s.Src.(*ir.RvalLoad); ok && pl.loadPinned(ld.Slot) {
 					record(loadStage, ld.Slot, pl.stageOfStmt(s))
-					if st, ok := storeStage[ld.Slot]; ok && st != pl.stageOfStmt(s) {
+					if st, ok := storeStage[find(ld.Slot)]; ok && st != pl.stageOfStmt(s) {
 						bad = ld.Slot
 					}
 				}
 			case *ir.Store:
-				if !pl.swappedSlots[s.Slot] {
+				if !pl.swappedSlots[s.Slot] || hasPartner[s.Slot] {
 					record(storeStage, s.Slot, pl.stageOfStmt(s))
-					if lst, ok := loadStage[s.Slot]; ok && lst != pl.stageOfStmt(s) {
+					if lst, ok := loadStage[find(s.Slot)]; ok && lst != pl.stageOfStmt(s) {
 						bad = s.Slot
 					}
 				}

@@ -169,7 +169,7 @@ func (pl *plan) planPrefetch(b *boundary) {
 			if !ok || ld.Idx.IsConst || ld.Idx.Var != v {
 				continue
 			}
-			if pl.storedSlots[ld.Slot] && !pl.swappedSlots[ld.Slot] {
+			if pl.loadPinned(ld.Slot) {
 				b.prefetch = append(b.prefetch, prefetchOp{slot: ld.Slot, val: v})
 			}
 		}
@@ -739,12 +739,34 @@ func (pl *plan) collectSlotAccess() {
 	walk([]ir.Stmt{pl.nest})
 }
 
-// raSafeSlot applies the race rule of Fig. 4 to accelerator offloads: an RA
-// may run ahead of the pipeline, so it must not read arrays the nest stores
-// to, unless the accesses are epoch-synchronized by a swap.
-func (pl *plan) raSafeSlot(slot int) bool {
-	if !pl.storedSlots[slot] {
+// loadPinned applies the Fig. 4 race rule over proven memory effects: a
+// load of slot must stay in the storing stage when the nest stores the slot
+// itself (and no swap epoch-synchronizes it), or stores a distinct slot the
+// frontend's effects analysis could not prove disjoint from it (Prog.Alias).
+// Restrict-qualified kernels have disjoint cross-slot verdicts throughout,
+// so this is then exactly the historical identity rule.
+func (pl *plan) loadPinned(slot int) bool {
+	if pl.storedSlots[slot] && !pl.swappedSlots[slot] {
 		return true
 	}
-	return pl.swappedSlots[slot]
+	if pl.p.Alias == nil {
+		return false
+	}
+	for s := range pl.storedSlots {
+		if s == slot || (pl.swappedSlots[s] && pl.swappedSlots[slot]) {
+			continue
+		}
+		if pl.p.Alias.Conflicts(pl.p.Slots[s].Name, pl.p.Slots[slot].Name) {
+			return true
+		}
+	}
+	return false
+}
+
+// raSafeSlot applies the race rule of Fig. 4 to accelerator offloads: an RA
+// may run ahead of the pipeline, so it must not read arrays the nest stores
+// to (or may-aliased ones), unless the accesses are epoch-synchronized by a
+// swap.
+func (pl *plan) raSafeSlot(slot int) bool {
+	return !pl.loadPinned(slot)
 }

@@ -1,8 +1,12 @@
 package source
 
 // Check type-checks the function in place: it resolves identifiers, fills in
-// expression types, and enforces the language rules Phloem depends on
-// (restrict-qualified arrays, no pointer arithmetic, scalar locals).
+// expression types, and enforces the language rules Phloem depends on (no
+// pointer arithmetic, scalar locals). Array parameters of a `#pragma phloem`
+// function historically had to be restrict-qualified here; that hard error
+// is demoted — the memory-effects analysis (internal/effects, run by the
+// compiler driver after Check) now proves or refutes aliasing per parameter
+// pair, rejecting only real may-alias conflicts with a positioned E0 error.
 func Check(fn *Function) error {
 	c := &checker{
 		fn:     fn,
@@ -11,10 +15,6 @@ func Check(fn *Function) error {
 	for _, p := range fn.Params {
 		if _, dup := c.scopes[0][p.Name]; dup {
 			return errf(p.Line, "duplicate parameter %q", p.Name)
-		}
-		if p.Type.IsPtr() && fn.Pragmas.Phloem && !p.Restrict {
-			return errf(p.Line,
-				"array parameter %q must be restrict-qualified for #pragma phloem (precise aliasing is required, Sec. IV-A)", p.Name)
 		}
 		c.scopes[0][p.Name] = p.Type
 	}

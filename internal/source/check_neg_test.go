@@ -19,15 +19,18 @@ func TestCheckErrorPositions(t *testing.T) {
 		wantMsg  string
 	}{
 		{
-			name: "non-restrict array under pragma phloem",
+			// Aliasing between non-restrict parameters is no longer a Check
+			// error (internal/effects proves or refutes it); pointer
+			// rebinding outside swap() still is.
+			name: "pointer assignment instead of swap",
 			src: `#pragma phloem
 void k(int* restrict a,
-       int* b,
+       int* restrict b,
        int n) {
-  b[0] = a[0];
+  a = b;
 }`,
-			wantLine: 3,
-			wantMsg:  `array parameter "b" must be restrict-qualified`,
+			wantLine: 5,
+			wantMsg:  "cannot assign to a pointer; use swap()",
 		},
 		{
 			name: "redeclaration in same scope",

@@ -101,7 +101,7 @@ func TestCheckRejections(t *testing.T) {
 	cases := []struct {
 		name, src string
 	}{
-		{"missing restrict", "#pragma phloem\nvoid k(int* a) { a[0] = 1; }"},
+		{"pointer rebinding", "void k(int* restrict a, int* restrict b) { a = b; }"},
 		{"undefined var", "void k(int n) { int x = y; }"},
 		{"type mix", "void k(int n, float f) { int x = n + f; }"},
 		{"assign float to int", "void k(float f) { int x = f; }"},

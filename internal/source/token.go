@@ -122,7 +122,7 @@ func (l *Lexer) Next() (Token, error) {
 				l.adv()
 			}
 			if l.pos >= len(l.src) {
-				return Token{}, fmt.Errorf("line %d: unterminated block comment", l.line)
+				return Token{}, errf(l.line, "unterminated block comment")
 			}
 			l.adv()
 			l.adv()
@@ -143,7 +143,7 @@ func (l *Lexer) Next() (Token, error) {
 		text := l.src[start:l.pos]
 		const prefix = "#pragma"
 		if len(text) < len(prefix) || text[:len(prefix)] != prefix {
-			return Token{}, fmt.Errorf("line %d: unsupported preprocessor directive %q", line, text)
+			return Token{}, errf(line, "unsupported preprocessor directive %q", text)
 		}
 		body := text[len(prefix):]
 		for len(body) > 0 && (body[0] == ' ' || body[0] == '\t') {
@@ -210,7 +210,7 @@ func (l *Lexer) Next() (Token, error) {
 		l.adv()
 		return Token{Kind: TokPunct, Lit: string(c), Line: line, Col: col}, nil
 	}
-	return Token{}, fmt.Errorf("line %d:%d: unexpected character %q", line, col, string(c))
+	return Token{}, errf(line, "column %d: unexpected character %q", col, string(c))
 }
 
 // LexAll tokenizes the whole input (testing convenience).

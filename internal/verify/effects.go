@@ -1,0 +1,261 @@
+package verify
+
+// Memory-effects cross-check (E* rules): per-entity MOD/REF summaries over
+// each stage's flattened ISA program, compared across stages and RAs. The
+// compiler's race rule (Fig. 4) guarantees a compiled pipeline never splits
+// conflicting accesses across entities; these rules re-derive that property
+// from the final ISA so hand-built or mutated pipelines are caught too.
+//
+//   - E1 two entities write the same slot in the same barrier epoch
+//   - E2 one stage writes a slot another stage reads in the same epoch
+//   - E3 a stage writes a slot an RA stream-reads in the same epoch (the RA
+//     may run arbitrarily far ahead of the writing stage)
+//   - E4 writes to distinct slots the frontend could not prove disjoint
+//     (Prog.Alias) land in different entities in the same epoch
+//
+// Epochs are attributed textually: an access's epoch is the number of
+// OpBarrier instructions before its pc. The pass pipeline inserts barriers
+// uniformly across stages, so textual epochs align; accesses in different
+// epochs are barrier-synchronized and exempt. Three more exemptions keep
+// every correctly compiled pipeline silent:
+//
+//   - slots connected by OpSwapSlots form a swap class; double-buffered
+//     accesses are epoch-synchronized by the swap (same-slot rules skip any
+//     swapped slot, E4 skips pairs inside one class)
+//   - stages with scalar Overrides are data-parallel workers whose arrays
+//     are partitioned by those scalars, beyond this slot-level model
+//   - OpPrefetch warms a line without an architectural read: not MOD/REF
+//
+// A nil Prog.Alias means identity aliasing (distinct slots disjoint), which
+// is exactly the historical restrict guarantee for hand-built pipelines.
+
+import (
+	"phloem/internal/isa"
+)
+
+// effAccess records where one entity touches one array slot.
+type effAccess struct {
+	pc     int          // first pc in the flattened program (-1 for RAs)
+	epochs map[int]bool // textual barrier epochs the access can run in
+}
+
+func (a *effAccess) add(pc, epoch int) *effAccess {
+	if a == nil {
+		a = &effAccess{pc: pc, epochs: map[int]bool{}}
+	}
+	a.epochs[epoch] = true
+	return a
+}
+
+func sharesEpoch(a, b *effAccess) bool {
+	for e := range a.epochs {
+		if b.epochs[e] {
+			return true
+		}
+	}
+	return false
+}
+
+// effEntity is the MOD/REF summary for one stage or RA.
+type effEntity struct {
+	mods map[int]*effAccess   // slot -> writes
+	refs map[int]*effAccess   // slot -> reads
+	enqs map[int]map[int]bool // queue -> epochs of enqueues (for RA chaining)
+}
+
+func newEffEntity() *effEntity {
+	return &effEntity{
+		mods: map[int]*effAccess{},
+		refs: map[int]*effAccess{},
+		enqs: map[int]map[int]bool{},
+	}
+}
+
+// slotUF is a union-find over slot ids for ISA-level swap classes.
+type slotUF struct{ rep []int }
+
+func newSlotUF(n int) *slotUF {
+	u := &slotUF{rep: make([]int, n)}
+	for i := range u.rep {
+		u.rep[i] = i
+	}
+	return u
+}
+
+func (u *slotUF) find(i int) int {
+	if u.rep[i] != i {
+		u.rep[i] = u.find(u.rep[i])
+	}
+	return u.rep[i]
+}
+
+func (u *slotUF) union(a, b int) { u.rep[u.find(a)] = u.find(b) }
+
+func (u *slotUF) same(a, b int) bool { return u.find(a) == u.find(b) }
+
+func (m *model) checkEffects() {
+	ns := m.numStages()
+	nSlots := len(m.pl.Prog.Slots)
+	ents := make([]*effEntity, ns+len(m.pl.RAs))
+	swap := newSlotUF(nSlots)
+	swapped := make([]bool, nSlots)
+
+	for i := range m.pl.Stages {
+		e := newEffEntity()
+		ents[i] = e
+		prog := m.progs[i]
+		if prog == nil {
+			continue // D0 already explains the gap
+		}
+		epoch := 0
+		for pc, in := range prog.Instrs {
+			switch in.Op {
+			case isa.OpBarrier:
+				epoch++
+			case isa.OpLoad:
+				e.refs[in.Slot] = e.refs[in.Slot].add(pc, epoch)
+			case isa.OpStore:
+				e.mods[in.Slot] = e.mods[in.Slot].add(pc, epoch)
+			case isa.OpSwapSlots:
+				swap.union(in.Slot, in.Slot2)
+				swapped[in.Slot], swapped[in.Slot2] = true, true
+			case isa.OpEnq, isa.OpEnqCtrl, isa.OpEnqCtrlV:
+				eq := e.enqs[in.Q]
+				if eq == nil {
+					eq = map[int]bool{}
+					e.enqs[in.Q] = eq
+				}
+				eq[epoch] = true
+			}
+		}
+	}
+
+	// An RA reads its slot whenever work arrives on its input queue: its
+	// read epochs are the epochs of enqueues into InQ, chained through
+	// upstream RAs to a fixpoint.
+	raEpochs := make([]map[int]bool, len(m.pl.RAs))
+	for r := range raEpochs {
+		raEpochs[r] = map[int]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for r, ra := range m.pl.RAs {
+			if ra.InQ < 0 || ra.InQ >= len(m.producers) {
+				continue
+			}
+			for _, p := range m.producers[ra.InQ] {
+				var src map[int]bool
+				if p < ns {
+					src = ents[p].enqs[ra.InQ]
+				} else {
+					src = raEpochs[p-ns]
+				}
+				for ep := range src {
+					if !raEpochs[r][ep] {
+						raEpochs[r][ep] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for r, ra := range m.pl.RAs {
+		e := newEffEntity()
+		ents[ns+r] = e
+		if ra.Slot >= 0 && ra.Slot < nSlots && len(raEpochs[r]) > 0 {
+			e.refs[ra.Slot] = &effAccess{pc: -1, epochs: raEpochs[r]}
+		}
+	}
+
+	entName := func(ent int) string {
+		if ent < ns {
+			return m.pl.Stages[ent].Name
+		}
+		return "RA " + m.pl.RAs[ent-ns].Name
+	}
+	exempt := func(ent int) bool {
+		// Data-parallel workers partition their arrays through scalar
+		// overrides (thread id, partition base) — beyond this slot model.
+		return ent < ns && len(m.pl.Stages[ent].Overrides) > 0
+	}
+
+	slotName := func(s int) string { return m.pl.Prog.Slots[s].Name }
+	for s := 0; s < nSlots; s++ {
+		for x := range ents {
+			wa := ents[x].mods[s]
+			if wa == nil || exempt(x) {
+				continue
+			}
+			if swapped[s] {
+				continue // double-buffered: the swap epoch-synchronizes it
+			}
+			for y := range ents {
+				if y == x || exempt(y) {
+					continue
+				}
+				if wb := ents[y].mods[s]; wb != nil && x < y && sharesEpoch(wa, wb) {
+					m.diag("E1", SevError, entName(x), -1, wa.pc,
+						"array %q is also written by %s in the same barrier epoch (unsynchronized write/write)",
+						slotName(s), entName(y))
+				}
+				rb := ents[y].refs[s]
+				if rb == nil || !sharesEpoch(wa, rb) {
+					continue
+				}
+				if y < ns {
+					m.diag("E2", SevError, entName(x), -1, wa.pc,
+						"array %q is written here and read by %s in the same barrier epoch without a swap in between (Fig. 4)",
+						slotName(s), entName(y))
+				} else {
+					m.diag("E3", SevError, entName(x), -1, wa.pc,
+						"array %q is written here while %s stream-reads it in the same barrier epoch (the accelerator may run ahead)",
+						slotName(s), entName(y))
+				}
+			}
+		}
+	}
+
+	ai := m.pl.Prog.Alias
+	if ai == nil {
+		return
+	}
+	seen := map[[4]int]bool{} // {writer, partner, write slot, partner slot}
+	for s := 0; s < nSlots; s++ {
+		for t := 0; t < nSlots; t++ {
+			if t == s || swap.same(s, t) || !ai.Conflicts(slotName(s), slotName(t)) {
+				continue
+			}
+			for x := range ents {
+				wa := ents[x].mods[s]
+				if wa == nil || exempt(x) {
+					continue
+				}
+				for y := range ents {
+					if y == x || exempt(y) {
+						continue
+					}
+					hit := func(b *effAccess, what string) {
+						if b == nil || !sharesEpoch(wa, b) {
+							return
+						}
+						// A write/write pair surfaces from both slot orders;
+						// report it once, from the lower-numbered writer.
+						if what == "write" && seen[[4]int{y, x, t, s}] {
+							return
+						}
+						key := [4]int{x, y, s, t}
+						if seen[key] {
+							return
+						}
+						seen[key] = true
+						m.diag("E4", SevError, entName(x), -1, wa.pc,
+							"write to %q may alias %s's %s of %q (frontend verdict: %s) in the same barrier epoch",
+							slotName(s), entName(y), what, slotName(t), ai.Verdict(slotName(s), slotName(t)))
+					}
+					hit(ents[y].mods[t], "write")
+					hit(ents[y].refs[t], "read")
+				}
+			}
+		}
+	}
+}

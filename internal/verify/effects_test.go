@@ -1,0 +1,149 @@
+package verify_test
+
+// Unit tests for the E* memory-effects cross-check: each rule gets a
+// deliberately racy pipeline caught with the correct rule id, and each
+// exemption (barrier epochs, swap classes, scalar overrides, alias verdicts)
+// gets a pipeline that must stay clean.
+
+import (
+	"reflect"
+	"testing"
+
+	"phloem/internal/arch"
+	"phloem/internal/ir"
+	"phloem/internal/verify"
+)
+
+// store builds "slot[idx] = val" with constant operands.
+func store(slot int, idx, val int64) ir.Stmt {
+	return &ir.Store{Slot: slot, Idx: ir.C(idx), Val: ir.C(val)}
+}
+
+// load builds "dst = slot[idx]".
+func load(dst ir.Var, slot int, idx int64) ir.Stmt {
+	return &ir.Assign{Dst: dst, Src: &ir.RvalLoad{Slot: slot, Idx: ir.C(idx)}}
+}
+
+func TestEffectsWriteWrite(t *testing.T) {
+	f := newFx("e1")
+	out := f.slot("out", ir.KInt)
+	f.stage("e1.w1", store(out, 0, 1))
+	f.stage("e1.w2", store(out, 1, 2))
+	d := requireRule(t, verify.Check(f.pipe), "E1", verify.SevError)
+	if d.Stage != "e1.w1" {
+		t.Errorf("E1 reported on %q, want the first writer", d.Stage)
+	}
+}
+
+func TestEffectsWriteRead(t *testing.T) {
+	f := newFx("e2")
+	out := f.slot("out", ir.KInt)
+	sink := f.slot("sink", ir.KInt)
+	x := f.v("x", ir.KInt)
+	f.stage("e2.writer", store(out, 0, 1))
+	f.stage("e2.reader", load(x, out, 0), &ir.Store{Slot: sink, Idx: ir.C(0), Val: ir.V(x)})
+	requireRule(t, verify.Check(f.pipe), "E2", verify.SevError)
+}
+
+func TestEffectsBarrierEpochsExempt(t *testing.T) {
+	f := newFx("e2-barrier")
+	out := f.slot("out", ir.KInt)
+	sink := f.slot("sink", ir.KInt)
+	x := f.v("x", ir.KInt)
+	f.stage("w", store(out, 0, 1), &ir.Barrier{})
+	f.stage("r", &ir.Barrier{}, load(x, out, 0), &ir.Store{Slot: sink, Idx: ir.C(0), Val: ir.V(x)})
+	requireNoRule(t, verify.Check(f.pipe), "E2")
+}
+
+func TestEffectsSwapClassExempt(t *testing.T) {
+	f := newFx("e2-swap")
+	curr := f.slot("curr", ir.KInt)
+	next := f.slot("next", ir.KInt)
+	sink := f.slot("sink", ir.KInt)
+	x := f.v("x", ir.KInt)
+	f.stage("w", store(next, 0, 1), &ir.Swap{A: curr, B: next})
+	f.stage("r", load(x, curr, 0), &ir.Store{Slot: sink, Idx: ir.C(0), Val: ir.V(x)})
+	rep := verify.Check(f.pipe)
+	requireNoRule(t, rep, "E1")
+	requireNoRule(t, rep, "E2")
+}
+
+func TestEffectsOverridesExempt(t *testing.T) {
+	f := newFx("e1-workers")
+	out := f.slot("out", ir.KInt)
+	f.stage("worker0", store(out, 0, 1))
+	f.stage("worker1", store(out, 1, 2))
+	f.pipe.Stages[0].Overrides = map[string]int64{"tid": 0}
+	requireNoRule(t, verify.Check(f.pipe), "E1")
+}
+
+func TestEffectsRAStreamRead(t *testing.T) {
+	f := newFx("e3")
+	base := f.slot("base", ir.KInt)
+	out2 := f.slot("out2", ir.KInt)
+	qin := f.pipe.AddQueue("idx")
+	qout := f.pipe.AddQueue("vals")
+	f.pipe.RAs = append(f.pipe.RAs, arch.RASpec{
+		Name: "ind.base", Mode: arch.RAIndirect, Slot: base, InQ: qin, OutQ: qout,
+	})
+	f.stage("e3.feed",
+		store(base, 0, 7),
+		&ir.Enq{Q: qin, Val: ir.C(0)},
+		&ir.EnqCtrl{Q: qin, Code: arch.CtrlEnd},
+	)
+	f.stage("e3.drain", f.drainLoop(qout, out2)...)
+	requireRule(t, verify.Check(f.pipe), "E3", verify.SevError)
+}
+
+func TestEffectsAliasedSlots(t *testing.T) {
+	f := newFx("e4")
+	a := f.slot("a", ir.KInt)
+	b := f.slot("b", ir.KInt)
+	f.p.Alias = &ir.AliasInfo{Pairs: map[[2]string]ir.AliasVerdict{
+		ir.PairKey("a", "b"): ir.AliasMayConflict,
+	}}
+	f.stage("e4.w1", store(a, 0, 1))
+	f.stage("e4.w2", store(b, 0, 2))
+	rep := verify.Check(f.pipe)
+	requireRule(t, rep, "E4", verify.SevError)
+	requireNoRule(t, rep, "E1") // distinct slots: identity rules stay quiet
+}
+
+func TestEffectsDisjointAliasClean(t *testing.T) {
+	f := newFx("e4-clean")
+	a := f.slot("a", ir.KInt)
+	b := f.slot("b", ir.KInt)
+	f.p.Alias = &ir.AliasInfo{Pairs: map[[2]string]ir.AliasVerdict{
+		ir.PairKey("a", "b"): ir.AliasDisjoint,
+	}}
+	f.stage("w1", store(a, 0, 1))
+	f.stage("w2", store(b, 0, 2))
+	requireNoRule(t, verify.Check(f.pipe), "E4")
+}
+
+// TestCheckDeterministic runs Check twice over a pipeline that trips several
+// rule families and requires identical reports — the contract behind
+// byte-identical `phloemc -lint` output.
+func TestCheckDeterministic(t *testing.T) {
+	mk := func() *fx {
+		f := newFx("det")
+		out := f.slot("out", ir.KInt)
+		f.p.Alias = &ir.AliasInfo{Pairs: map[[2]string]ir.AliasVerdict{
+			ir.PairKey("out", "sink"): ir.AliasMayConflict,
+		}}
+		sink := f.slot("sink", ir.KInt)
+		x := f.v("x", ir.KInt)
+		f.pipe.AddQueue("orphan")
+		f.stage("det.w1", store(out, 0, 1), store(sink, 0, 1))
+		f.stage("det.w2", store(out, 1, 2), load(x, out, 0))
+		return f
+	}
+	r1 := verify.Check(mk().pipe)
+	r2 := verify.Check(mk().pipe)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("reports differ between runs:\n--- first ---\n%s--- second ---\n%s", r1, r2)
+	}
+	if r1.String() != r2.String() {
+		t.Fatalf("rendered output differs between runs")
+	}
+}

@@ -165,6 +165,47 @@ func goldenFixtures() []*fx {
 	l4.stage("l4.consume", l4.drainLoop(l4q, l4out)...)
 	out = append(out, l4)
 
+	e1 := newFx("e1")
+	e1out := e1.slot("out", ir.KInt)
+	e1.stage("e1.w1", store(e1out, 0, 1))
+	e1.stage("e1.w2", store(e1out, 1, 2))
+	out = append(out, e1)
+
+	e2 := newFx("e2")
+	e2out := e2.slot("out", ir.KInt)
+	e2sink := e2.slot("sink", ir.KInt)
+	e2x := e2.v("x", ir.KInt)
+	e2.stage("e2.writer", store(e2out, 0, 1))
+	e2.stage("e2.reader", load(e2x, e2out, 0),
+		&ir.Store{Slot: e2sink, Idx: ir.C(0), Val: ir.V(e2x)})
+	out = append(out, e2)
+
+	e3 := newFx("e3")
+	e3base := e3.slot("base", ir.KInt)
+	e3out := e3.slot("out2", ir.KInt)
+	e3qin := e3.pipe.AddQueue("idx")
+	e3qout := e3.pipe.AddQueue("vals")
+	e3.pipe.RAs = append(e3.pipe.RAs, arch.RASpec{
+		Name: "ind.base", Mode: arch.RAIndirect, Slot: e3base, InQ: e3qin, OutQ: e3qout,
+	})
+	e3.stage("e3.feed",
+		store(e3base, 0, 7),
+		&ir.Enq{Q: e3qin, Val: ir.C(0)},
+		&ir.EnqCtrl{Q: e3qin, Code: arch.CtrlEnd},
+	)
+	e3.stage("e3.drain", e3.drainLoop(e3qout, e3out)...)
+	out = append(out, e3)
+
+	e4 := newFx("e4")
+	e4a := e4.slot("a", ir.KInt)
+	e4b := e4.slot("b", ir.KInt)
+	e4.p.Alias = &ir.AliasInfo{Pairs: map[[2]string]ir.AliasVerdict{
+		ir.PairKey("a", "b"): ir.AliasMayConflict,
+	}}
+	e4.stage("e4.w1", store(e4a, 0, 1))
+	e4.stage("e4.w2", store(e4b, 0, 2))
+	out = append(out, e4)
+
 	return out
 }
 

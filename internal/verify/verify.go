@@ -5,7 +5,7 @@
 // the reference tells you *that* a pipeline is wrong, these rules tell you
 // *where* and *why*.
 //
-// Four analyses run over the stage/queue/RA graph and each stage's flattened
+// Five analyses run over the stage/queue/RA graph and each stage's flattened
 // ISA program:
 //
 //   - Q* queue topology / startup deadlock (one consumer per queue, no RA
@@ -19,6 +19,10 @@
 //     peek without deq)
 //   - L* cross-stage liveness (queues declared but unused, enqueued but
 //     never dequeued and vice versa, int/float disagreement across a queue)
+//   - E* memory effects (per-entity MOD/REF summaries: cross-stage
+//     write/write and write/read of a slot in the same barrier epoch,
+//     stage writes racing an RA's stream reads, and writes to distinct
+//     slots the frontend's alias analysis could not prove disjoint)
 //
 // Diagnostics are structured (rule id, severity, stage/queue/pc location) so
 // callers can render, filter, or assert on them.
@@ -26,6 +30,7 @@ package verify
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"phloem/internal/isa"
@@ -122,14 +127,32 @@ func (r *Report) String() string {
 }
 
 // Check runs all analyses over the pipeline and returns the report.
-// Diagnostics appear in deterministic order: topology, protocol, per-stage
-// dataflow, liveness.
+// Diagnostics are sorted canonically by (stage, pc, queue, rule, message) —
+// ties keep analysis order (topology, protocol, dataflow, liveness, effects)
+// — so two runs over the same pipeline render byte-identical output.
 func Check(pl *pipeline.Pipeline) *Report {
 	m := buildModel(pl)
 	m.checkTopology()
 	m.checkProtocol()
 	m.checkDataflow()
 	m.checkLiveness()
+	m.checkEffects()
+	sort.SliceStable(m.rep.Diags, func(i, j int) bool {
+		a, b := m.rep.Diags[i], m.rep.Diags[j]
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
+		}
+		if a.PC != b.PC {
+			return a.PC < b.PC
+		}
+		if a.Queue != b.Queue {
+			return a.Queue < b.Queue
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
 	return m.rep
 }
 

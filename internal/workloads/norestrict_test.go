@@ -1,0 +1,95 @@
+package workloads
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"phloem/internal/arch"
+	"phloem/internal/core"
+	"phloem/internal/matrix"
+	"phloem/internal/pipeline"
+	"phloem/internal/source"
+)
+
+// TestPRDApplyNoRestrict compiles and simulates the unqualified apply
+// kernel: every parameter pair is provable only as benign (same affine
+// index), which must be enough to compile and compute correctly.
+func TestPRDApplyNoRestrict(t *testing.T) {
+	res, err := core.CompileSource(PRDApplySource, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if res.AliasStats.Benign == 0 {
+		t.Errorf("expected benign pairs, got stats %s", res.AliasStats)
+	}
+	if res.AliasStats.MayAlias != 0 {
+		t.Errorf("no pair should be may-alias: %s", res.AliasStats)
+	}
+	b := PRDApplyBindings(64, 7)
+	inst, err := pipeline.Instantiate(res.Pipeline, arch.DefaultConfig(1), b)
+	if err != nil {
+		t.Fatalf("instantiate: %v", err)
+	}
+	if _, err := inst.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := PRDApplyVerify(inst, PRDApplyBindings(64, 7)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSpMVNoRestrict compiles and simulates SpMV with unqualified index
+// arrays: rows/cols are proven no-conflict (read-only), everything else
+// disjoint, so the kernel still decouples into a real pipeline.
+func TestSpMVNoRestrict(t *testing.T) {
+	res, err := core.CompileSource(SpMVNoRestrictSource, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if res.AliasStats.NoConflict == 0 {
+		t.Errorf("rows/cols should be a no-conflict pair: %s", res.AliasStats)
+	}
+	if res.AliasStats.MayAlias != 0 {
+		t.Errorf("no pair should be may-alias: %s", res.AliasStats)
+	}
+	if len(res.Pipeline.Stages) < 2 {
+		t.Errorf("expected a decoupled pipeline, got %d stage(s)", len(res.Pipeline.Stages))
+	}
+	for _, m := range []*matrix.CSR{
+		matrix.Banded("banded", 48, 4, 6, 1),
+		matrix.Scattered("scattered", 48, 5, 2),
+	} {
+		b := SpMVBindings(m)
+		inst, err := pipeline.Instantiate(res.Pipeline, arch.DefaultConfig(1), b)
+		if err != nil {
+			t.Fatalf("%s: instantiate: %v", m.Name, err)
+		}
+		if _, err := inst.Run(); err != nil {
+			t.Fatalf("%s: run: %v", m.Name, err)
+		}
+		if err := SpMVVerify(inst, m, b); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+// TestBFSAliasedRejected requires the deliberately aliased BFS variant to
+// fail with a positioned E0 error pointing at the indirect store.
+func TestBFSAliasedRejected(t *testing.T) {
+	_, err := core.CompileSource(BFSAliasedSource, core.DefaultOptions())
+	if err == nil {
+		t.Fatal("aliased BFS compiled; the effects analysis must reject it")
+	}
+	var se *source.Error
+	if !errors.As(err, &se) {
+		t.Fatalf("expected a *source.Error, got %T: %v", err, err)
+	}
+	if se.Line != 18 {
+		t.Errorf("E0 on line %d, want 18 (the distances[ngh] store): %v", se.Line, err)
+	}
+	if !strings.Contains(se.Msg, "[E0]") ||
+		!strings.Contains(se.Msg, `"distances"`) || !strings.Contains(se.Msg, `"edges"`) {
+		t.Errorf("error should name [E0] and both parameters: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package phloem_test
 
 import (
+	"strings"
 	"testing"
 
 	"phloem"
@@ -70,9 +71,23 @@ func TestPublicAPICompileErrors(t *testing.T) {
 		// non-phloem function without restrict is fine (no pragma)...
 		t.Logf("compile: %v", err)
 	}
+	// A single unqualified array is provably safe (nothing to alias), so it
+	// compiles; an unprovable may-alias pair must still fail with E0.
 	if _, err := phloem.Compile("#pragma phloem\nvoid k(int* a) { a[0] = 1; }",
-		phloem.DefaultOptions()); err == nil {
-		t.Error("missing restrict with #pragma phloem must fail")
+		phloem.DefaultOptions()); err != nil {
+		t.Errorf("single unqualified array should compile: %v", err)
+	}
+	mayAlias := `#pragma phloem
+void k(int* idx, int* data, int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    int j = idx[i];
+    data[j] = i;
+  }
+}`
+	if _, err := phloem.Compile(mayAlias, phloem.DefaultOptions()); err == nil {
+		t.Error("unprovable may-alias pair with #pragma phloem must fail")
+	} else if !strings.Contains(err.Error(), "[E0]") {
+		t.Errorf("rejection should carry the E0 code: %v", err)
 	}
 	if _, err := phloem.Compile("not a kernel", phloem.DefaultOptions()); err == nil {
 		t.Error("garbage input must fail")
