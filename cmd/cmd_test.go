@@ -3,6 +3,8 @@
 package cmd_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"os"
 	"os/exec"
@@ -279,6 +281,82 @@ func TestPhloemsimExitCodes(t *testing.T) {
 	}
 	if code, _ := exitCode("-bench", "BFS", "-faults", "no-such-plan"); code != 1 {
 		t.Errorf("unknown fault plan: exit %d, want 1", code)
+	}
+}
+
+// TestPhloemsimTelemetry drives the observability flags end to end: the
+// stall profile prints, the series and Chrome trace land on disk well-formed,
+// and a second identical run reproduces both files byte for byte.
+func TestPhloemsimTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "series.csv")
+	tracePath := filepath.Join(dir, "trace.json")
+	args := []string{"-bench", "BFS", "-input", "road-ny",
+		"-profile", "-interval", "1000",
+		"-telemetry", csvPath, "-chrome-trace", tracePath}
+	out := run(t, "phloemsim", args...)
+	for _, want := range []string{"stall profile", "hot lines:", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("phloemsim output missing %q:\n%s", want, out)
+		}
+	}
+
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatalf("series CSV not written: %v", err)
+	}
+	if !strings.HasPrefix(string(csv), "cycle,dcycles,dissued,") {
+		t.Errorf("series CSV header:\n%.120s", csv)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("chrome trace not written: %v", err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatalf("chrome trace does not parse as JSON: %v", err)
+	}
+	tracks := 0
+	for _, e := range tr.TraceEvents {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			tracks++
+		}
+	}
+	// The compiled BFS pipeline has multiple stage threads and RAs; each gets
+	// a named track.
+	if tracks < 4 {
+		t.Errorf("chrome trace has %d named tracks, want several:\n%.200s", tracks, raw)
+	}
+
+	// Determinism: the same run must reproduce both artifacts exactly.
+	csv2Path := filepath.Join(dir, "series2.csv")
+	trace2Path := filepath.Join(dir, "trace2.json")
+	run(t, "phloemsim", "-bench", "BFS", "-input", "road-ny",
+		"-profile", "-interval", "1000",
+		"-telemetry", csv2Path, "-chrome-trace", trace2Path)
+	csv2, _ := os.ReadFile(csv2Path)
+	raw2, _ := os.ReadFile(trace2Path)
+	if !bytes.Equal(csv, csv2) {
+		t.Error("series CSV differs between identical runs")
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Error("chrome trace differs between identical runs")
+	}
+}
+
+func TestPhloembenchTelemetry(t *testing.T) {
+	out := run(t, "phloembench", "-exp", "telemetry")
+	for _, want := range []string{"telemetry", "BFS", "hottest stall site", "avg="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("telemetry summary missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -8,6 +8,9 @@
 //	phloemsim -bench BFS -faults kitchen-sink   # chaos plan, results must match
 //	phloemsim -bench BFS -cycle-budget 1000     # guardrail demo, exits 2
 //	phloemsim -bench BFS -inject deadlock       # guardrail demo, exits 1
+//	phloemsim -bench BFS -profile               # source-line stall profile
+//	phloemsim -bench BFS -chrome-trace out.json # chrome://tracing timeline
+//	phloemsim -bench BFS -telemetry s.csv -interval 1000
 //
 // Exit codes: 0 success, 1 compile failure/deadlock/any other error,
 // 2 cycle or trace budget exceeded, 3 functional trap.
@@ -18,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"phloem/internal/arch"
 	"phloem/internal/core"
@@ -25,6 +29,7 @@ import (
 	"phloem/internal/ir"
 	"phloem/internal/pipeline"
 	"phloem/internal/sim"
+	"phloem/internal/telemetry"
 	"phloem/internal/workloads"
 )
 
@@ -69,6 +74,11 @@ func run() int {
 	cycleBudget := flag.Uint64("cycle-budget", 0, "abort any run past this many cycles (exit code 2)")
 	faultPlan := flag.String("faults", "", "timing-fault plan: a named plan or seed-N (results must still match)")
 	inject := flag.String("inject", "", "sabotage the pipeline to demo guardrails: deadlock|trap")
+	seriesOut := flag.String("telemetry", "", "write the pipelined run's interval time-series to this file (.csv, else JSON; \"-\" = stdout)")
+	profile := flag.Bool("profile", false, "print the pipelined run's source-annotated hot-lines stall profile")
+	profileTop := flag.Int("profile-top", 10, "hot lines to show with -profile")
+	chromeOut := flag.String("chrome-trace", "", "write the pipelined run as Chrome trace_event JSON to this file")
+	interval := flag.Uint64("interval", 0, "telemetry sampling period in cycles (0: one end-of-run sample)")
 	flag.Parse()
 
 	fail := func(err error) int {
@@ -114,13 +124,17 @@ func run() int {
 	if err != nil {
 		return fail(err)
 	}
-	runPipe := func(name string, p *pipeline.Pipeline) (uint64, error) {
+	runPipe := func(name string, p *pipeline.Pipeline, col *telemetry.Collector) (uint64, error) {
 		inst, err := pipeline.Instantiate(p, arch.DefaultConfig(1), in.Bind())
 		if err != nil {
 			return 0, fmt.Errorf("%s: %w", name, err)
 		}
 		plan.Apply(inst.Machine)
 		inst.Machine.Cfg.CycleBudget = *cycleBudget
+		if col != nil {
+			inst.Machine.Probe = col
+			inst.Machine.Cfg.TelemetryInterval = *interval
+		}
 		st, err := inst.Run()
 		if err != nil {
 			return 0, fmt.Errorf("%s: %w", name, err)
@@ -132,7 +146,7 @@ func run() int {
 		return st.Cycles, nil
 	}
 
-	sc, err := runPipe("serial", pipeline.NewSerial(serialProg))
+	sc, err := runPipe("serial", pipeline.NewSerial(serialProg), nil)
 	if err != nil {
 		return fail(err)
 	}
@@ -141,10 +155,66 @@ func run() int {
 		return fail(err)
 	}
 	fmt.Printf("--- phloem pipeline\n%s", res.Pipeline.Describe())
-	pc, err := runPipe("phloem", res.Pipeline)
+	var col *telemetry.Collector
+	if *seriesOut != "" || *profile || *chromeOut != "" {
+		col = telemetry.NewCollector()
+	}
+	pc, err := runPipe("phloem", res.Pipeline, col)
 	if err != nil {
 		return fail(err)
 	}
+	if col != nil {
+		if err := export(col, *seriesOut, *chromeOut, *profile, *profileTop, bench.SerialSource); err != nil {
+			return fail(err)
+		}
+	}
 	fmt.Printf("\nspeedup on %s: %.2fx\n", in.Name, float64(sc)/float64(pc))
 	return 0
+}
+
+// export writes the telemetry artifacts requested on the command line.
+func export(col *telemetry.Collector, seriesOut, chromeOut string, profile bool, top int, source string) error {
+	if profile {
+		fmt.Printf("--- stall profile\n%s", col.Profile().Render(top, source))
+	}
+	if seriesOut != "" {
+		s := col.Series()
+		write := func(w *os.File) error {
+			if strings.HasSuffix(seriesOut, ".csv") {
+				return s.WriteCSV(w)
+			}
+			return s.WriteJSON(w)
+		}
+		if seriesOut == "-" {
+			if err := s.WriteCSV(os.Stdout); err != nil {
+				return err
+			}
+		} else {
+			f, err := os.Create(seriesOut)
+			if err != nil {
+				return err
+			}
+			if err := write(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	if chromeOut != "" {
+		f, err := os.Create(chromeOut)
+		if err != nil {
+			return err
+		}
+		if err := col.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }

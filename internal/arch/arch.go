@@ -49,6 +49,10 @@ type Config struct {
 	// progress before declaring a deadlock (0 = the default of ~1M).
 	// Deadlock tests lower it to fail fast.
 	IdleLimit uint64
+	// TelemetryInterval is the sampling period, in cycles, for interval
+	// time-series when a telemetry probe is installed (0 = no periodic
+	// samples). It has no effect on timing results, only on observation.
+	TelemetryInterval uint64
 	// Mem is the memory hierarchy configuration.
 	Mem cache.HierarchyConfig
 }

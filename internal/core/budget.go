@@ -30,6 +30,13 @@ type Budget struct {
 	// functional phase runs before any cycle is simulated (0 = simulator
 	// default).
 	Trace int
+	// Probe, when non-nil, is installed on the candidate's machine so the
+	// measurement is observed (e.g. by a telemetry.Collector). Probes never
+	// change timing results.
+	Probe sim.Probe
+	// TelemetryInterval sets the probe's sampling period in cycles
+	// (0 = end-of-run sample only).
+	TelemetryInterval uint64
 }
 
 // Apply configures a machine with the budget.
@@ -39,6 +46,10 @@ func (b Budget) Apply(m *sim.Machine) {
 	}
 	if b.Trace > 0 {
 		m.MaxTraceEntries = b.Trace
+	}
+	if b.Probe != nil {
+		m.Probe = b.Probe
+		m.Cfg.TelemetryInterval = b.TelemetryInterval
 	}
 }
 

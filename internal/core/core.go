@@ -16,6 +16,7 @@ import (
 	"phloem/internal/lower"
 	"phloem/internal/passes"
 	"phloem/internal/pipeline"
+	"phloem/internal/sim"
 	"phloem/internal/source"
 	"phloem/internal/verify"
 )
@@ -64,6 +65,23 @@ type Options struct {
 	// verified or measured. It exists for fault injection in tests and for
 	// `phloemc -lint` demonstrations; production callers leave it nil.
 	PostBuild func(*pipeline.Pipeline)
+	// CandidateProbe, when set, supplies a telemetry probe (typically a
+	// fresh telemetry.Collector) for each measured autotune/Search
+	// candidate, identified by phase index and point subset (the static
+	// pipeline measures as phase -1 with a nil subset). The probe samples
+	// every Machine.TelemetryInterval cycles and observes every training
+	// input of that candidate; it never changes measured cycles.
+	CandidateProbe func(phase int, subset []int) sim.Probe
+}
+
+// probed attaches the per-candidate telemetry probe (if configured) to a
+// copy of the measurement budget.
+func (o *Options) probed(b Budget, phase int, subset []int) Budget {
+	if o.CandidateProbe != nil {
+		b.Probe = o.CandidateProbe(phase, subset)
+		b.TelemetryInterval = o.Machine.TelemetryInterval
+	}
+	return b
 }
 
 // DefaultOptions returns an all-passes static compilation for the Table III
@@ -274,7 +292,7 @@ func autotune(p *ir.Prog, phases []*analysis.Phase, cands [][]*analysis.Candidat
 	if err != nil {
 		skips = append(skips, CandidateSkip{Phase: -1, Reason: classify(err), Err: err})
 		trace("autotune: static pipeline skipped: %v", err)
-	} else if cycles, err := tryCandidate(static.Pipeline, opt, budget); err != nil {
+	} else if cycles, err := tryCandidate(static.Pipeline, opt, opt.probed(budget, -1, nil)); err != nil {
 		skips = append(skips, CandidateSkip{Phase: -1, Reason: classify(err), Err: err})
 		trace("autotune: static pipeline failed training: %v", err)
 	} else {
@@ -310,7 +328,7 @@ func autotune(p *ir.Prog, phases []*analysis.Phase, cands [][]*analysis.Candidat
 				continue
 			}
 			searched++
-			cycles, err := tryCandidate(pipe, opt, budget)
+			cycles, err := tryCandidate(pipe, opt, opt.probed(budget, pi, subset))
 			if err != nil {
 				skips = append(skips, CandidateSkip{Phase: pi, Subset: subset, Reason: classify(err), Err: err})
 				trace("autotune: pipeline %v failed (%s): %v", subset, classify(err), err)
@@ -412,7 +430,7 @@ func Search(p *ir.Prog, opt Options) (out []SearchPoint, err error) {
 				out = append(out, SearchPoint{Subset: subset, Skip: skip})
 				continue
 			}
-			cycles, err := tryCandidate(pipe, opt, budget)
+			cycles, err := tryCandidate(pipe, opt, opt.probed(budget, pi, subset))
 			if err != nil {
 				out = append(out, SearchPoint{
 					TotalStages: pipe.TotalStages(),

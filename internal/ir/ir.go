@@ -154,10 +154,18 @@ func (*RvalHandlerVal) rval() {}
 // Stmt is a statement node.
 type Stmt interface{ stmt() }
 
+// Statements that originate in kernel source carry the 1-based source line
+// they were lowered from in a Line field (0: synthesized by the compiler).
+// The pipelining passes preserve lines when they move or copy statements, so
+// flattening can attribute each ISA instruction back to its source line for
+// telemetry profiles. Glue the passes invent (queue traffic, dispatch
+// control flow) keeps Line 0 and reports as generated code.
+
 // Assign sets Dst from an Rval.
 type Assign struct {
-	Dst Var
-	Src Rval
+	Dst  Var
+	Src  Rval
+	Line int
 }
 
 // Store writes an array element. StoreID uniquely names the store site.
@@ -166,6 +174,7 @@ type Store struct {
 	Slot    int
 	Idx     Operand
 	Val     Operand
+	Line    int
 }
 
 // Prefetch warms the cache line of an array element without reading it
@@ -173,6 +182,7 @@ type Store struct {
 type Prefetch struct {
 	Slot int
 	Idx  Operand
+	Line int
 }
 
 // If is a conditional.
@@ -180,6 +190,7 @@ type If struct {
 	Cond Operand
 	Then []Stmt
 	Else []Stmt
+	Line int
 }
 
 // Counted describes a canonical counted loop: for (v = Init; v < Bound; v++).
@@ -201,10 +212,14 @@ type Loop struct {
 	Counted *Counted
 	// Decouple marks a #pragma decouple on this loop.
 	Decouple bool
+	Line     int
 }
 
 // Swap exchanges two array slot bindings machine-wide.
-type Swap struct{ A, B int }
+type Swap struct {
+	A, B int
+	Line int
+}
 
 // Enq enqueues a data value.
 type Enq struct {
@@ -227,7 +242,7 @@ type SetHandler struct {
 }
 
 // Barrier synchronizes all pipeline stages between program phases.
-type Barrier struct{}
+type Barrier struct{ Line int }
 
 // DecoupleMark records a `#pragma decouple` statement boundary.
 type DecoupleMark struct{}

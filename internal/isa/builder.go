@@ -8,6 +8,8 @@ import "fmt"
 type Builder struct {
 	name    string
 	instrs  []Instr
+	lines   []int32
+	line    int32
 	nextReg Reg
 	labels  map[string]int
 	fixups  []fixup
@@ -41,8 +43,14 @@ func (b *Builder) Label(name string) {
 	b.labels[name] = len(b.instrs)
 }
 
+// SetLine records the kernel source line for subsequently emitted
+// instructions (0: compiler-generated glue). Callers that never use it get a
+// program with all-zero lines.
+func (b *Builder) SetLine(line int32) { b.line = line }
+
 func (b *Builder) emit(in Instr) {
 	b.instrs = append(b.instrs, in)
+	b.lines = append(b.lines, b.line)
 }
 
 // Emit appends a raw instruction (used for ops without a dedicated helper).
@@ -50,7 +58,7 @@ func (b *Builder) Emit(in Instr) { b.emit(in) }
 
 func (b *Builder) emitTo(in Instr, label string) {
 	b.fixups = append(b.fixups, fixup{pc: len(b.instrs), label: label})
-	b.instrs = append(b.instrs, in)
+	b.emit(in)
 }
 
 // Const emits Dst = imm and returns the destination register.
@@ -213,7 +221,7 @@ func (b *Builder) Build() (*Program, error) {
 		}
 		b.instrs[f.pc].Target = pc
 	}
-	p := &Program{Name: b.name, Instrs: b.instrs, NumRegs: int(b.nextReg)}
+	p := &Program{Name: b.name, Instrs: b.instrs, NumRegs: int(b.nextReg), Lines: b.lines}
 	return p, nil
 }
 

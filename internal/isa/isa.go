@@ -249,6 +249,18 @@ type Program struct {
 	Instrs []Instr
 	// NumRegs is the size of the virtual register file.
 	NumRegs int
+	// Lines maps each instruction to the 1-based kernel source line it was
+	// lowered from (0: compiler-generated glue). Parallel to Instrs; nil for
+	// programs built without line tracking (hand-written stage programs).
+	Lines []int32
+}
+
+// Line returns the source line for pc (0 when untracked or generated).
+func (p *Program) Line(pc int) int32 {
+	if pc < 0 || pc >= len(p.Lines) {
+		return 0
+	}
+	return p.Lines[pc]
 }
 
 // Validate checks structural well-formedness: branch targets in range,

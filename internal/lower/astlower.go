@@ -113,7 +113,7 @@ func (lw *astLowerer) stmt(s source.Stmt) ([]ir.Stmt, error) {
 		}
 		v := lw.p.NewVar(s.Name, kindOf(s.Type))
 		lw.scopes[len(lw.scopes)-1][s.Name] = binding{v: v}
-		out = append(out, &ir.Assign{Dst: v, Src: movRval(op, kindOf(s.Type))})
+		out = append(out, &ir.Assign{Dst: v, Src: movRval(op, kindOf(s.Type)), Line: s.Line})
 		return out, nil
 	case *source.AssignStmt:
 		return lw.assign(s)
@@ -134,7 +134,7 @@ func (lw *astLowerer) stmt(s source.Stmt) ([]ir.Stmt, error) {
 				return nil, err
 			}
 		}
-		out = append(out, &ir.If{Cond: cond, Then: thn, Else: els})
+		out = append(out, &ir.If{Cond: cond, Then: thn, Else: els, Line: s.Line})
 		return out, nil
 	case *source.WhileStmt:
 		var pre []ir.Stmt
@@ -147,7 +147,7 @@ func (lw *astLowerer) stmt(s source.Stmt) ([]ir.Stmt, error) {
 			return nil, err
 		}
 		lw.p.NumLoops++
-		return []ir.Stmt{&ir.Loop{ID: lw.p.NumLoops - 1, Pre: pre, Cond: cond,
+		return []ir.Stmt{&ir.Loop{ID: lw.p.NumLoops - 1, Pre: pre, Cond: cond, Line: s.Line,
 			Body: body, Decouple: s.Decouple}}, nil
 	case *source.ForStmt:
 		lw.push()
@@ -177,7 +177,7 @@ func (lw *astLowerer) stmt(s source.Stmt) ([]ir.Stmt, error) {
 			body = append(body, post...)
 		}
 		lw.p.NumLoops++
-		loop := &ir.Loop{ID: lw.p.NumLoops - 1, Pre: pre, Cond: cond,
+		loop := &ir.Loop{ID: lw.p.NumLoops - 1, Pre: pre, Cond: cond, Line: s.Line,
 			Body: body, Decouple: s.Decouple}
 		loop.Counted = lw.detectCounted(s, out)
 		out = append(out, loop)
@@ -188,11 +188,11 @@ func (lw *astLowerer) stmt(s source.Stmt) ([]ir.Stmt, error) {
 		if !ba.isSlot || !bb.isSlot {
 			return nil, fmt.Errorf("line %d: swap() of non-array", s.Line)
 		}
-		return []ir.Stmt{&ir.Swap{A: ba.slot, B: bb.slot}}, nil
+		return []ir.Stmt{&ir.Swap{A: ba.slot, B: bb.slot, Line: s.Line}}, nil
 	case *source.DecoupleStmt:
 		return []ir.Stmt{&ir.DecoupleMark{}}, nil
 	case *source.BarrierStmt:
-		return []ir.Stmt{&ir.Barrier{}}, nil
+		return []ir.Stmt{&ir.Barrier{Line: s.Line}}, nil
 	}
 	return nil, fmt.Errorf("lower: unknown statement %T", s)
 }
@@ -293,7 +293,7 @@ func (lw *astLowerer) assign(s *source.AssignStmt) ([]ir.Stmt, error) {
 						if err != nil {
 							return nil, err
 						}
-						out = append(out, &ir.Assign{Dst: b.v,
+						out = append(out, &ir.Assign{Dst: b.v, Line: s.Line,
 							Src: &ir.RvalBin{Op: op, Float: k == ir.KFloat, A: ir.V(b.v), B: r}})
 						return out, nil
 					}
@@ -305,13 +305,13 @@ func (lw *astLowerer) assign(s *source.AssignStmt) ([]ir.Stmt, error) {
 			return nil, err
 		}
 		if s.Op == "=" {
-			out = append(out, &ir.Assign{Dst: b.v, Src: movRval(rhs, k)})
+			out = append(out, &ir.Assign{Dst: b.v, Src: movRval(rhs, k), Line: s.Line})
 		} else {
 			op, err := compoundOp(s.Op)
 			if err != nil {
 				return nil, fmt.Errorf("line %d: %v", s.Line, err)
 			}
-			out = append(out, &ir.Assign{Dst: b.v,
+			out = append(out, &ir.Assign{Dst: b.v, Line: s.Line,
 				Src: &ir.RvalBin{Op: op, Float: k == ir.KFloat, A: ir.V(b.v), B: rhs}})
 		}
 		return out, nil
@@ -338,14 +338,14 @@ func (lw *astLowerer) assign(s *source.AssignStmt) ([]ir.Stmt, error) {
 				return nil, fmt.Errorf("line %d: %v", s.Line, err)
 			}
 			old := lw.tmp(k)
-			out = append(out, &ir.Assign{Dst: old,
+			out = append(out, &ir.Assign{Dst: old, Line: s.Line,
 				Src: &ir.RvalLoad{LoadID: lw.newLoadID(), Slot: b.slot, Idx: idx}})
 			nv := lw.tmp(k)
-			out = append(out, &ir.Assign{Dst: nv,
+			out = append(out, &ir.Assign{Dst: nv, Line: s.Line,
 				Src: &ir.RvalBin{Op: op, Float: k == ir.KFloat, A: ir.V(old), B: rhs}})
 			val = ir.V(nv)
 		}
-		out = append(out, &ir.Store{StoreID: lw.newStoreID(), Slot: b.slot, Idx: idx, Val: val})
+		out = append(out, &ir.Store{StoreID: lw.newStoreID(), Slot: b.slot, Idx: idx, Val: val, Line: s.Line})
 		return out, nil
 	}
 	return nil, fmt.Errorf("line %d: unsupported assignment target", s.Line)
@@ -412,7 +412,7 @@ func (lw *astLowerer) expr(out *[]ir.Stmt, e source.Expr) (ir.Operand, error) {
 			return ir.Operand{}, err
 		}
 		v := lw.tmp(kindOf(e.ExprType()))
-		*out = append(*out, &ir.Assign{Dst: v,
+		*out = append(*out, &ir.Assign{Dst: v, Line: e.Line,
 			Src: &ir.RvalLoad{LoadID: lw.newLoadID(), Slot: b.slot, Idx: idx}})
 		return ir.V(v), nil
 	case *source.Binary:
@@ -427,14 +427,14 @@ func (lw *astLowerer) expr(out *[]ir.Stmt, e source.Expr) (ir.Operand, error) {
 		switch e.Op {
 		case "-":
 			if k == ir.KFloat {
-				*out = append(*out, &ir.Assign{Dst: v, Src: &ir.RvalUn{Op: ir.OpNeg, Float: true, A: x}})
+				*out = append(*out, &ir.Assign{Dst: v, Src: &ir.RvalUn{Op: ir.OpNeg, Float: true, A: x}, Line: e.Line})
 			} else {
-				*out = append(*out, &ir.Assign{Dst: v, Src: &ir.RvalBin{Op: ir.OpSub, A: ir.C(0), B: x}})
+				*out = append(*out, &ir.Assign{Dst: v, Src: &ir.RvalBin{Op: ir.OpSub, A: ir.C(0), B: x}, Line: e.Line})
 			}
 		case "!":
-			*out = append(*out, &ir.Assign{Dst: v, Src: &ir.RvalBin{Op: ir.OpEQ, A: x, B: ir.C(0)}})
+			*out = append(*out, &ir.Assign{Dst: v, Src: &ir.RvalBin{Op: ir.OpEQ, A: x, B: ir.C(0)}, Line: e.Line})
 		case "~":
-			*out = append(*out, &ir.Assign{Dst: v, Src: &ir.RvalBin{Op: ir.OpXor, A: x, B: ir.C(-1)}})
+			*out = append(*out, &ir.Assign{Dst: v, Src: &ir.RvalBin{Op: ir.OpXor, A: x, B: ir.C(-1)}, Line: e.Line})
 		}
 		return ir.V(v), nil
 	case *source.Cast:
@@ -452,7 +452,7 @@ func (lw *astLowerer) expr(out *[]ir.Stmt, e source.Expr) (ir.Operand, error) {
 		if to == ir.KInt {
 			op = ir.OpF2I
 		}
-		*out = append(*out, &ir.Assign{Dst: v, Src: &ir.RvalUn{Op: op, A: x}})
+		*out = append(*out, &ir.Assign{Dst: v, Src: &ir.RvalUn{Op: op, A: x}, Line: e.Line})
 		return ir.V(v), nil
 	case *source.Call:
 		return lw.call(out, e)
@@ -468,17 +468,17 @@ func (lw *astLowerer) binary(out *[]ir.Stmt, e *source.Binary) (ir.Operand, erro
 			return ir.Operand{}, err
 		}
 		res := lw.tmp(ir.KInt)
-		*out = append(*out, &ir.Assign{Dst: res, Src: &ir.RvalBin{Op: ir.OpNE, A: l, B: ir.C(0)}})
+		*out = append(*out, &ir.Assign{Dst: res, Src: &ir.RvalBin{Op: ir.OpNE, A: l, B: ir.C(0)}, Line: e.Line})
 		var inner []ir.Stmt
 		r, err := lw.expr(&inner, e.R)
 		if err != nil {
 			return ir.Operand{}, err
 		}
-		inner = append(inner, &ir.Assign{Dst: res, Src: &ir.RvalBin{Op: ir.OpNE, A: r, B: ir.C(0)}})
+		inner = append(inner, &ir.Assign{Dst: res, Src: &ir.RvalBin{Op: ir.OpNE, A: r, B: ir.C(0)}, Line: e.Line})
 		if e.Op == "&&" {
-			*out = append(*out, &ir.If{Cond: ir.V(res), Then: inner})
+			*out = append(*out, &ir.If{Cond: ir.V(res), Then: inner, Line: e.Line})
 		} else {
-			*out = append(*out, &ir.If{Cond: ir.V(res), Else: inner})
+			*out = append(*out, &ir.If{Cond: ir.V(res), Else: inner, Line: e.Line})
 		}
 		return ir.V(res), nil
 	}
@@ -529,7 +529,7 @@ func (lw *astLowerer) binary(out *[]ir.Stmt, e *source.Binary) (ir.Operand, erro
 		return ir.Operand{}, fmt.Errorf("line %d: unknown operator %q", e.Line, e.Op)
 	}
 	v := lw.tmp(kindOf(e.ExprType()))
-	*out = append(*out, &ir.Assign{Dst: v, Src: &ir.RvalBin{Op: op, Float: isFloat, A: l, B: r}})
+	*out = append(*out, &ir.Assign{Dst: v, Src: &ir.RvalBin{Op: op, Float: isFloat, A: l, B: r}, Line: e.Line})
 	return ir.V(v), nil
 }
 
@@ -545,27 +545,27 @@ func (lw *astLowerer) call(out *[]ir.Stmt, e *source.Call) (ir.Operand, error) {
 	switch e.Name {
 	case "fabs":
 		v := lw.tmp(ir.KFloat)
-		*out = append(*out, &ir.Assign{Dst: v, Src: &ir.RvalUn{Op: ir.OpAbs, Float: true, A: args[0]}})
+		*out = append(*out, &ir.Assign{Dst: v, Src: &ir.RvalUn{Op: ir.OpAbs, Float: true, A: args[0]}, Line: e.Line})
 		return ir.V(v), nil
 	case "abs":
 		v := lw.tmp(ir.KInt)
-		*out = append(*out, &ir.Assign{Dst: v, Src: &ir.RvalUn{Op: ir.OpMov, A: args[0]}})
+		*out = append(*out, &ir.Assign{Dst: v, Src: &ir.RvalUn{Op: ir.OpMov, A: args[0]}, Line: e.Line})
 		neg := lw.tmp(ir.KInt)
-		*out = append(*out, &ir.Assign{Dst: neg, Src: &ir.RvalBin{Op: ir.OpLT, A: args[0], B: ir.C(0)}})
-		*out = append(*out, &ir.If{Cond: ir.V(neg), Then: []ir.Stmt{
+		*out = append(*out, &ir.Assign{Dst: neg, Src: &ir.RvalBin{Op: ir.OpLT, A: args[0], B: ir.C(0)}, Line: e.Line})
+		*out = append(*out, &ir.If{Cond: ir.V(neg), Line: e.Line, Then: []ir.Stmt{
 			&ir.Assign{Dst: v, Src: &ir.RvalBin{Op: ir.OpSub, A: ir.C(0), B: args[0]}},
 		}})
 		return ir.V(v), nil
 	case "min", "max":
 		v := lw.tmp(ir.KInt)
-		*out = append(*out, &ir.Assign{Dst: v, Src: &ir.RvalUn{Op: ir.OpMov, A: args[0]}})
+		*out = append(*out, &ir.Assign{Dst: v, Src: &ir.RvalUn{Op: ir.OpMov, A: args[0]}, Line: e.Line})
 		cmpOp := ir.OpLT
 		if e.Name == "max" {
 			cmpOp = ir.OpGT
 		}
 		c := lw.tmp(ir.KInt)
-		*out = append(*out, &ir.Assign{Dst: c, Src: &ir.RvalBin{Op: cmpOp, A: args[1], B: args[0]}})
-		*out = append(*out, &ir.If{Cond: ir.V(c), Then: []ir.Stmt{
+		*out = append(*out, &ir.Assign{Dst: c, Src: &ir.RvalBin{Op: cmpOp, A: args[1], B: args[0]}, Line: e.Line})
+		*out = append(*out, &ir.If{Cond: ir.V(c), Line: e.Line, Then: []ir.Stmt{
 			&ir.Assign{Dst: v, Src: &ir.RvalUn{Op: ir.OpMov, A: args[1]}},
 		}})
 		return ir.V(v), nil

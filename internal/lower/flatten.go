@@ -39,6 +39,7 @@ func Flatten(p *ir.Prog, stageName string, body []ir.Stmt) (prog *isa.Program, e
 	if err := f.stmts(body); err != nil {
 		return nil, err
 	}
+	f.b.SetLine(0) // epilogue halt is generated, not source
 	f.b.Halt()
 	return f.b.Build()
 }
@@ -250,7 +251,30 @@ func (f *flattener) assign(s *ir.Assign) error {
 	return nil
 }
 
+// stmtLine extracts the source line a statement carries (0 for glue the
+// passes synthesize, which has no Line field at all).
+func stmtLine(s ir.Stmt) int32 {
+	switch s := s.(type) {
+	case *ir.Assign:
+		return int32(s.Line)
+	case *ir.Store:
+		return int32(s.Line)
+	case *ir.Prefetch:
+		return int32(s.Line)
+	case *ir.If:
+		return int32(s.Line)
+	case *ir.Loop:
+		return int32(s.Line)
+	case *ir.Swap:
+		return int32(s.Line)
+	case *ir.Barrier:
+		return int32(s.Line)
+	}
+	return 0
+}
+
 func (f *flattener) stmt(s ir.Stmt) error {
+	f.b.SetLine(stmtLine(s))
 	switch s := s.(type) {
 	case *ir.Assign:
 		return f.assign(s)

@@ -382,7 +382,7 @@ func (cg *codegen) genOwnedLoop(lp *ir.Loop, depth, s int, skip map[*ir.Loop]boo
 	body = append(body, cg.fbDeqsAt(s, depth)...)
 	// Downstream counter frame signals do not apply to owned loops; only
 	// the loop-end marker after it.
-	out = append(out, &ir.Loop{ID: lp.ID, Pre: lp.Pre, Cond: lp.Cond, Body: body, Counted: lp.Counted})
+	out = append(out, &ir.Loop{ID: lp.ID, Pre: lp.Pre, Cond: lp.Cond, Body: body, Counted: lp.Counted, Line: lp.Line})
 	if outB != nil && depth <= outB.m {
 		if cg.useCtrl {
 			// Depth 1 is terminated by the END marker in genStage.

@@ -61,6 +61,11 @@ type Machine struct {
 	// into the timing phase (see TimingFaults). Functional results are
 	// unaffected by construction.
 	Faults *TimingFaults
+
+	// Probe, when non-nil, observes timing-phase events (see Probe). A nil
+	// probe costs one pointer test per instrumentation point and leaves
+	// Stats bit-identical; probes never influence timing decisions.
+	Probe Probe
 }
 
 // NewMachine creates a machine with the given configuration and an empty

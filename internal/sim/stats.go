@@ -52,7 +52,9 @@ type Stats struct {
 	// HandlerFires counts control-value handler activations.
 	HandlerFires uint64
 	// QueueEmptyStalls and QueueFullStalls count cycle-granularity stall
-	// observations on queue operations.
+	// observations on queue operations: cycles a core issued nothing while
+	// blocked on an empty queue (consumer starved) or, respectively, only on
+	// full queues (producer backpressured). Empty wins when both occur.
 	QueueEmptyStalls uint64
 	QueueFullStalls  uint64
 	// RALoads counts memory accesses issued by reference accelerators.
@@ -82,18 +84,57 @@ func (s *Stats) IPC() float64 {
 	return float64(s.Issued) / float64(s.Cycles)
 }
 
-// String renders a human-readable summary.
+// Delta returns the counters accumulated since prev: s - prev field by
+// field. Both snapshots must come from the same run (prev earlier), as
+// interval sampling produces them; cumulative counters only grow, so the
+// subtraction never wraps. Derived and per-run fields (Energy, Threads) are
+// taken from s unchanged.
+func (s Stats) Delta(prev Stats) Stats {
+	d := s
+	d.Cycles -= prev.Cycles
+	d.Instructions -= prev.Instructions
+	d.Issued -= prev.Issued
+	d.Mispredicts -= prev.Mispredicts
+	d.HandlerFires -= prev.HandlerFires
+	d.QueueEmptyStalls -= prev.QueueEmptyStalls
+	d.QueueFullStalls -= prev.QueueFullStalls
+	d.RALoads -= prev.RALoads
+	d.Cache.L1Hits -= prev.Cache.L1Hits
+	d.Cache.L1Misses -= prev.Cache.L1Misses
+	d.Cache.L2Hits -= prev.Cache.L2Hits
+	d.Cache.L2Misses -= prev.Cache.L2Misses
+	d.Cache.L3Hits -= prev.Cache.L3Hits
+	d.Cache.L3Misses -= prev.Cache.L3Misses
+	d.Cache.MemAccesses -= prev.Cache.MemAccesses
+	d.PerCore = make([]Breakdown, len(s.PerCore))
+	for i, b := range s.PerCore {
+		if i < len(prev.PerCore) {
+			p := prev.PerCore[i]
+			b.Issue -= p.Issue
+			b.Backend -= p.Backend
+			b.Queue -= p.Queue
+			b.Other -= p.Other
+		}
+		d.PerCore[i] = b
+	}
+	return d
+}
+
+// String renders a human-readable summary. Every ratio is guarded so partial
+// snapshots (zero cycles, no classified breakdown) render without dividing
+// by zero.
 func (s *Stats) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "cycles=%d uops=%d ipc=%.2f mispred=%d handlers=%d\n",
 		s.Cycles, s.Issued, s.IPC(), s.Mispredicts, s.HandlerFires)
 	tb := s.TotalBreakdown()
-	tot := float64(tb.Total())
-	if tot > 0 {
+	if tot := float64(tb.Total()); tot > 0 {
 		fmt.Fprintf(&sb, "cycle breakdown: issue=%.0f%% backend=%.0f%% queue=%.0f%% other=%.0f%%\n",
 			100*float64(tb.Issue)/tot, 100*float64(tb.Backend)/tot,
 			100*float64(tb.Queue)/tot, 100*float64(tb.Other)/tot)
 	}
+	fmt.Fprintf(&sb, "queue stalls: empty=%d full=%d  ra loads: %d\n",
+		s.QueueEmptyStalls, s.QueueFullStalls, s.RALoads)
 	fmt.Fprintf(&sb, "cache: L1 %d/%d L2 %d/%d L3 %d/%d mem=%d\n",
 		s.Cache.L1Hits, s.Cache.L1Misses, s.Cache.L2Hits, s.Cache.L2Misses,
 		s.Cache.L3Hits, s.Cache.L3Misses, s.Cache.MemAccesses)

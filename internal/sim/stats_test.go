@@ -34,6 +34,77 @@ func TestStatsString(t *testing.T) {
 	}
 }
 
+// TestStatsStringQueueStalls pins the queue-stall/RA-load line and the
+// divide-by-zero guards: an all-zero snapshot must render without NaNs and
+// without a bogus breakdown line.
+func TestStatsStringQueueStalls(t *testing.T) {
+	s := &Stats{Cycles: 10, QueueEmptyStalls: 4, QueueFullStalls: 2, RALoads: 7}
+	if out, want := s.String(), "queue stalls: empty=4 full=2  ra loads: 7"; !strings.Contains(out, want) {
+		t.Errorf("stats string missing %q:\n%s", want, out)
+	}
+	var empty Stats
+	out := empty.String()
+	if strings.Contains(out, "NaN") {
+		t.Errorf("zero-value stats string has NaN:\n%s", out)
+	}
+	if strings.Contains(out, "cycle breakdown") {
+		t.Errorf("zero-value stats string has a breakdown line:\n%s", out)
+	}
+	if !strings.Contains(out, "queue stalls: empty=0 full=0  ra loads: 0") {
+		t.Errorf("zero-value stats string missing queue-stall line:\n%s", out)
+	}
+}
+
+func TestStatsDelta(t *testing.T) {
+	prev := Stats{
+		Cycles: 100, Instructions: 60, Issued: 50, Mispredicts: 3,
+		HandlerFires: 1, QueueEmptyStalls: 10, QueueFullStalls: 2, RALoads: 5,
+		PerCore: []Breakdown{{Issue: 60, Backend: 20, Queue: 15, Other: 5}},
+	}
+	prev.Cache.L1Hits, prev.Cache.L1Misses, prev.Cache.MemAccesses = 40, 8, 4
+	cur := Stats{
+		Cycles: 250, Instructions: 160, Issued: 140, Mispredicts: 7,
+		HandlerFires: 4, QueueEmptyStalls: 25, QueueFullStalls: 6, RALoads: 11,
+		// A second core became active after prev was snapshotted.
+		PerCore: []Breakdown{{Issue: 120, Backend: 70, Queue: 40, Other: 20}, {Issue: 9}},
+		Threads: []ThreadStats{{Name: "s0", Instructions: 160}},
+	}
+	cur.Cache.L1Hits, cur.Cache.L1Misses, cur.Cache.MemAccesses = 90, 20, 9
+	cur.Energy.Static = 42
+
+	d := cur.Delta(prev)
+	if d.Cycles != 150 || d.Instructions != 100 || d.Issued != 90 || d.Mispredicts != 4 {
+		t.Errorf("delta core counters: %+v", d)
+	}
+	if d.HandlerFires != 3 || d.QueueEmptyStalls != 15 || d.QueueFullStalls != 4 || d.RALoads != 6 {
+		t.Errorf("delta event counters: %+v", d)
+	}
+	if d.Cache.L1Hits != 50 || d.Cache.L1Misses != 12 || d.Cache.MemAccesses != 5 {
+		t.Errorf("delta cache counters: %+v", d.Cache)
+	}
+	if want := (Breakdown{Issue: 60, Backend: 50, Queue: 25, Other: 15}); d.PerCore[0] != want {
+		t.Errorf("delta PerCore[0] = %+v, want %+v", d.PerCore[0], want)
+	}
+	// The core absent from prev passes through unchanged.
+	if want := (Breakdown{Issue: 9}); d.PerCore[1] != want {
+		t.Errorf("delta PerCore[1] = %+v, want %+v", d.PerCore[1], want)
+	}
+	// Per-run fields come from the newer snapshot unchanged.
+	if d.Energy != cur.Energy || len(d.Threads) != 1 {
+		t.Errorf("delta per-run fields: energy=%+v threads=%v", d.Energy, d.Threads)
+	}
+	// Delta must not alias the receiver's breakdown slice.
+	d.PerCore[0].Issue = 999
+	if cur.PerCore[0].Issue != 120 {
+		t.Error("Delta aliased the receiver's PerCore slice")
+	}
+	// Self-delta is all-zero on the cumulative counters.
+	z := cur.Delta(cur)
+	if z.Cycles != 0 || z.Issued != 0 || z.TotalBreakdown().Total() != 0 {
+		t.Errorf("self-delta nonzero: %+v", z)
+	}
+}
+
 func TestEnergyComposition(t *testing.T) {
 	s := &Stats{Cycles: 1000, Issued: 500,
 		PerCore: []Breakdown{{Issue: 1000}}}

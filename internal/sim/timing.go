@@ -36,6 +36,7 @@ type winEntry struct {
 }
 
 type tThread struct {
+	idx   int // index into Machine.Stages (probe identity)
 	core  int
 	slot  int // SMT thread index on the core
 	prog  *isa.Program
@@ -66,10 +67,12 @@ type tThread struct {
 	issuedN  uint64
 
 	// Scan-skip state: the thread is rescanned when dirty or once wakeAt is
-	// reached; lastQB/lastMB cache the stall classification meanwhile.
+	// reached; lastQE/lastQF/lastMB cache the stall classification (blocked
+	// on empty queue, full queue, memory) meanwhile.
 	dirty  bool
 	wakeAt uint64
-	lastQB bool
+	lastQE bool
+	lastQF bool
 	lastMB bool
 }
 
@@ -93,6 +96,7 @@ func (q *tQueue) pop() {
 func (q *tQueue) headReady() uint64 { return q.ready[q.head] }
 
 type tRA struct {
+	id          int // index into Machine.RAs (probe identity)
 	core        int
 	events      []RAEvent
 	idx         int
@@ -129,6 +133,16 @@ type timingEngine struct {
 	// numbers control-value enqueues per queue for CtrlDelay.
 	memN  uint64
 	ctrlN []uint64
+
+	// probe observation state. probe is nil when no telemetry is installed;
+	// every hook site tests it once. sampleEvery/sampleAt drive interval
+	// samples; curThread/curPC remember the first micro-op issued in the
+	// current issueCore call for issue-cycle attribution.
+	probe       Probe
+	sampleEvery uint64
+	sampleAt    uint64
+	curThread   int
+	curPC       int
 }
 
 // extraMemLatency consults the MemLatency fault hook for the next access.
@@ -171,6 +185,7 @@ func (m *Machine) RunTiming(ts *TraceSet) (*Stats, error) {
 			winSize <<= 1
 		}
 		t := &tThread{
+			idx:         i,
 			core:        st.Thread.Core,
 			slot:        st.Thread.Thread,
 			prog:        st.Prog,
@@ -199,6 +214,7 @@ func (m *Machine) RunTiming(ts *TraceSet) (*Stats, error) {
 	e.ctrlN = make([]uint64, len(m.Queues))
 	for i, spec := range m.RAs {
 		ra := &tRA{
+			id:   i,
 			core: spec.Core, events: ts.RA[i], inQ: spec.InQ, outQ: spec.OutQ,
 			outstanding: m.raWindow(i),
 		}
@@ -231,16 +247,29 @@ func (m *Machine) RunTiming(ts *TraceSet) (*Stats, error) {
 	e.stats.PerCore = make([]Breakdown, m.Cfg.Cores)
 	e.stats.Instructions = ts.Instructions
 
+	e.probe = m.Probe
+	if e.probe != nil {
+		e.sampleEvery = m.Cfg.TelemetryInterval
+		e.sampleAt = e.sampleEvery
+		e.probe.BeginTiming(m)
+	}
+
 	if err := e.run(); err != nil {
 		// On a budget abort, attach the partial stats accumulated so far so
 		// the caller can still see how the aborted run spent its cycles.
 		if be, ok := err.(*CycleBudgetError); ok {
 			e.finishStats()
 			be.Stats = &e.stats
+			if e.probe != nil {
+				e.probe.EndTiming(&e.stats)
+			}
 		}
 		return nil, err
 	}
 	e.finishStats()
+	if e.probe != nil {
+		e.probe.EndTiming(&e.stats)
+	}
 	return &e.stats, nil
 }
 
@@ -271,6 +300,10 @@ func (e *timingEngine) run() error {
 	for {
 		if budget != 0 && e.now >= budget {
 			return &CycleBudgetError{Budget: budget, Cycles: e.now}
+		}
+		if e.probe != nil && e.sampleEvery != 0 && e.now >= e.sampleAt {
+			e.emitSample()
+			e.sampleAt = (e.now/e.sampleEvery + 1) * e.sampleEvery
 		}
 		done := true
 		for _, t := range e.threads {
@@ -335,19 +368,31 @@ func (e *timingEngine) run() error {
 
 		// 5. Issue per core.
 		for c := range e.byCore {
-			issued, blockQ, blockMem := e.issueCore(c)
+			issued, blockEmpty, blockFull, blockMem := e.issueCore(c)
 			if issued > 0 {
 				progress = true
 				e.stats.PerCore[c].Issue++
+				if e.probe != nil {
+					e.probe.CoreCycles(c, ClassIssue, e.curThread, e.curPC, 1)
+				}
 			} else if e.coreLive(c) {
 				switch {
-				case blockQ:
+				case blockEmpty || blockFull:
 					e.stats.PerCore[c].Queue++
-					e.stats.QueueEmptyStalls++
+					// Empty wins when both block (the consumer side is what
+					// keeps the pipeline from draining).
+					if blockEmpty {
+						e.stats.QueueEmptyStalls++
+					} else {
+						e.stats.QueueFullStalls++
+					}
+					e.attributeStall(c, ClassQueue, 1)
 				case blockMem:
 					e.stats.PerCore[c].Backend++
+					e.attributeStall(c, ClassBackend, 1)
 				default:
 					e.stats.PerCore[c].Other++
+					e.attributeStall(c, ClassOther, 1)
 				}
 			}
 		}
@@ -371,10 +416,13 @@ func (e *timingEngine) run() error {
 				switch {
 				case blockQ:
 					e.stats.PerCore[c].Queue += delta - 1
+					e.attributeStall(c, ClassQueue, delta-1)
 				case blockMem:
 					e.stats.PerCore[c].Backend += delta - 1
+					e.attributeStall(c, ClassBackend, delta-1)
 				default:
 					e.stats.PerCore[c].Other += delta - 1
+					e.attributeStall(c, ClassOther, delta-1)
 				}
 			}
 			e.now = next
@@ -387,6 +435,61 @@ func (e *timingEngine) run() error {
 			return &DeadlockError{Snapshot: e.snapshot(), IdleCycles: idle}
 		}
 	}
+}
+
+// emitSample delivers a cumulative Stats snapshot to the probe. Only the
+// counters that accumulate during the run are meaningful mid-flight; Energy
+// and Threads are derived at the end and stay zero in samples.
+func (e *timingEngine) emitSample() {
+	snap := e.stats
+	snap.Cycles = e.now
+	snap.Cache = e.hier.Stats()
+	snap.PerCore = append([]Breakdown(nil), e.stats.PerCore...)
+	e.probe.Sample(e.now, &snap)
+}
+
+// attributeStall reports weight stall cycles of the given class on core c to
+// the probe, attributed to the oldest blocked entry of that class (or -1/-1
+// when no site is identifiable). It matches exactly the cycles the engine
+// adds to the core's Breakdown, so probe-side totals reconcile with Stats.
+func (e *timingEngine) attributeStall(c int, class StallClass, weight uint64) {
+	if e.probe == nil || weight == 0 {
+		return
+	}
+	th, pc := e.stallSite(c, class)
+	e.probe.CoreCycles(c, class, th, pc, weight)
+}
+
+// stallSite finds a representative (thread, PC) for a stall of the given
+// class on core c: the oldest unissued window entry whose blocking reason
+// matches. checkIssue is side-effect-free apart from MSHR-list compaction,
+// which is behavior-preserving, so probing here cannot change timing.
+func (e *timingEngine) stallSite(c int, class StallClass) (thread, pc int) {
+	for _, t := range e.byCore[c] {
+		if t.finished {
+			continue
+		}
+		for off := t.scanFrom; off < t.count && off-t.scanFrom < issueScanCap; off++ {
+			en := &t.win[(t.head+off)&t.winMask]
+			if en.issued {
+				continue
+			}
+			ready, qb, mb := e.checkIssue(t, en)
+			match := false
+			switch class {
+			case ClassQueue:
+				match = qb
+			case ClassBackend:
+				match = mb
+			default:
+				match = !ready && !qb && !mb
+			}
+			if match {
+				return t.idx, int(t.trace[en.seq].PC)
+			}
+		}
+	}
+	return -1, -1
 }
 
 // snapshot captures the timing engine's wait-for state: which stage blocks
@@ -604,6 +707,9 @@ func (e *timingEngine) fetch(t *tThread) bool {
 				// about to be dequeued.
 				en.redirect = true
 				e.stats.HandlerFires++
+				if e.probe != nil {
+					e.probe.HandlerFire(t.idx, int(te.PC), e.now)
+				}
 			}
 		}
 		if in.IsQueueOp() {
@@ -663,15 +769,16 @@ func (e *timingEngine) barriersReady() bool {
 }
 
 // issueCore issues up to IssueWidth ready micro-ops on core c. It returns the
-// number issued and whether any thread was blocked on a queue or on memory.
-// Threads are visited in rotating order for SMT fairness.
-func (e *timingEngine) issueCore(c int) (issued int, blockQ, blockMem bool) {
+// number issued and whether any thread was blocked on an empty queue, a full
+// queue, or memory. Threads are visited in rotating order for SMT fairness.
+func (e *timingEngine) issueCore(c int) (issued int, blockEmpty, blockFull, blockMem bool) {
 	budget := e.m.Cfg.IssueWidth
 	ths := e.byCore[c]
 	n := len(ths)
 	if n == 0 {
-		return 0, false, false
+		return 0, false, false, false
 	}
+	e.curThread, e.curPC = -1, -1
 	start := int(e.now) % n
 	for k := 0; k < n; k++ {
 		t := ths[(start+k)%n]
@@ -682,11 +789,18 @@ func (e *timingEngine) issueCore(c int) (issued int, blockQ, blockMem bool) {
 			// Barred from issuing this cycle; stay dirty so the thread
 			// rescans as soon as the stall window ends.
 			t.dirty = true
+			if e.probe != nil {
+				e.probe.ThreadState(t.idx, ClassOther, e.now)
+			}
 			continue
 		}
 		if !t.dirty && e.now < t.wakeAt {
-			blockQ = blockQ || t.lastQB
+			blockEmpty = blockEmpty || t.lastQE
+			blockFull = blockFull || t.lastQF
 			blockMem = blockMem || t.lastMB
+			if e.probe != nil {
+				e.probe.ThreadState(t.idx, stallClassOf(t.lastQE || t.lastQF, t.lastMB), e.now)
+			}
 			continue
 		}
 		t.dirty = false
@@ -694,7 +808,7 @@ func (e *timingEngine) issueCore(c int) (issued int, blockQ, blockMem bool) {
 		anyIssued := false
 		firstUnissued := -1
 		wake := uint64(farFuture)
-		tQB, tMB := false, false
+		tQE, tQF, tMB := false, false, false
 		for off := t.scanFrom; off < t.count && off < t.scanFrom+2*issueScanCap && scanned < issueScanCap && budget > 0; off++ {
 			en := &t.win[(t.head+off)&t.winMask]
 			if en.issued {
@@ -715,12 +829,29 @@ func (e *timingEngine) issueCore(c int) (issued int, blockQ, blockMem bool) {
 				if w := e.entryWake(t, en); w < wake {
 					wake = w
 				}
-				tQB = tQB || qb
+				if qb {
+					// A blocking queue op is an enqueue (full queue) or a
+					// dequeue/peek (empty queue); the op kind tells which.
+					switch en.instr.Op {
+					case isa.OpEnq, isa.OpEnqCtrl, isa.OpEnqCtrlV:
+						tQF = true
+					default:
+						tQE = true
+					}
+				}
 				tMB = tMB || mb
 			}
 		}
-		blockQ = blockQ || tQB
+		blockEmpty = blockEmpty || tQE
+		blockFull = blockFull || tQF
 		blockMem = blockMem || tMB
+		if e.probe != nil {
+			if anyIssued {
+				e.probe.ThreadState(t.idx, ClassIssue, e.now)
+			} else {
+				e.probe.ThreadState(t.idx, stallClassOf(tQE || tQF, tMB), e.now)
+			}
+		}
 		if firstUnissued >= 0 {
 			t.scanFrom = firstUnissued
 		} else if scanned > 0 || t.scanFrom >= t.count {
@@ -733,10 +864,22 @@ func (e *timingEngine) issueCore(c int) (issued int, blockQ, blockMem bool) {
 			t.dirty = true
 		} else {
 			t.wakeAt = wake
-			t.lastQB, t.lastMB = tQB, tMB
+			t.lastQE, t.lastQF, t.lastMB = tQE, tQF, tMB
 		}
 	}
-	return issued, blockQ, blockMem
+	return issued, blockEmpty, blockFull, blockMem
+}
+
+// stallClassOf maps per-thread block bits to the stall class with the same
+// priority order the per-core classification uses.
+func stallClassOf(qb, mb bool) StallClass {
+	switch {
+	case qb:
+		return ClassQueue
+	case mb:
+		return ClassBackend
+	}
+	return ClassOther
 }
 
 // entryWake estimates when a not-ready entry could become issuable from
@@ -875,6 +1018,9 @@ func (e *timingEngine) tryIssue(t *tThread, en *winEntry) (ok, blockQ, blockMem 
 		e.wakeConsumer(in.Q)
 		e.queueOps++
 		done = e.now + 1
+		if e.probe != nil {
+			e.probe.QueueLen(in.Q, e.queues[in.Q].len(), e.now)
+		}
 	case isa.OpEnqCtrl, isa.OpEnqCtrlV:
 		// Control values may be delivered late under fault injection; the
 		// token sits in the queue but is not visible to the consumer until
@@ -883,22 +1029,37 @@ func (e *timingEngine) tryIssue(t *tThread, en *winEntry) (ok, blockQ, blockMem 
 		e.wakeConsumer(in.Q)
 		e.queueOps++
 		done = e.now + 1
+		if e.probe != nil {
+			e.probe.QueueLen(in.Q, e.queues[in.Q].len(), e.now)
+		}
 	case isa.OpDeq:
 		e.queues[in.Q].pop()
 		e.wakeProducers(in.Q)
 		e.queueOps++
 		done = e.now + 1
+		if e.probe != nil {
+			e.probe.QueueLen(in.Q, e.queues[in.Q].len(), e.now)
+		}
 	case isa.OpPeek:
 		e.queueOps++
 		done = e.now + 1
 	case isa.OpHalt:
 		t.finished = true
 		done = e.now + 1
+		if e.probe != nil {
+			e.probe.ThreadDone(t.idx, e.now)
+		}
 	default:
 		done = e.now + in.Class().Latency()
 	}
 	en.issued = true
 	en.doneAt = done
+	if e.probe != nil {
+		e.probe.Issued(t.idx, int(te.PC), e.now)
+		if e.curPC < 0 {
+			e.curThread, e.curPC = t.idx, int(te.PC)
+		}
+	}
 	if en.redirect {
 		pen := e.m.Cfg.MispredictPenalty
 		if te.Flags&FlagHandlerFire != 0 {
@@ -909,14 +1070,31 @@ func (e *timingEngine) tryIssue(t *tThread, en *winEntry) (ok, blockQ, blockMem 
 	return true, false, false
 }
 
-// tickRA advances one reference accelerator by one cycle.
+// tickRA advances one reference accelerator by one cycle, reporting window
+// occupancy changes to the probe.
 func (e *timingEngine) tickRA(ra *tRA) bool {
+	if e.probe == nil {
+		return e.tickRASteps(ra)
+	}
+	before := len(ra.inflight) - ra.ifHead
+	beforeLoads := ra.loads
+	moved := e.tickRASteps(ra)
+	if after := len(ra.inflight) - ra.ifHead; after != before || ra.loads != beforeLoads {
+		e.probe.RAInflight(ra.id, after, ra.loads, e.now)
+	}
+	return moved
+}
+
+func (e *timingEngine) tickRASteps(ra *tRA) bool {
 	moved := false
 	// Deliver completed tokens in order.
 	outq := e.queues[ra.outQ]
 	for ra.ifHead < len(ra.inflight) && ra.inflight[ra.ifHead] <= e.now && outq.len() < outq.cap {
 		outq.push(e.now + 1)
 		e.wakeConsumer(ra.outQ)
+		if e.probe != nil {
+			e.probe.QueueLen(ra.outQ, outq.len(), e.now)
+		}
 		ra.ifHead++
 		if ra.loads > 0 {
 			ra.loads--
@@ -939,6 +1117,9 @@ func (e *timingEngine) tickRA(ra *tRA) bool {
 			}
 			inq.pop()
 			e.wakeProducers(ra.inQ)
+			if e.probe != nil {
+				e.probe.QueueLen(ra.inQ, inq.len(), e.now)
+			}
 		case RALoad:
 			if loadsStarted >= 1 || len(ra.inflight)-ra.ifHead >= ra.outstanding {
 				return moved
