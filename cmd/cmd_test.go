@@ -227,6 +227,47 @@ func TestPhloemcRejectsBadInput(t *testing.T) {
 	}
 }
 
+// TestPhloemcAutotune drives the -autotune mode: the profile-guided search
+// over a built-in benchmark must print the winning pipeline and its search
+// statistics, and serial and parallel runs must agree on everything except
+// wall-clock time.
+func TestPhloemcAutotune(t *testing.T) {
+	stripTiming := func(out string) string {
+		var kept []string
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "search took") {
+				continue
+			}
+			kept = append(kept, line)
+		}
+		return strings.Join(kept, "\n")
+	}
+	parallel := run(t, "phloemc", "-autotune", "BFS", "-j", "4")
+	for _, want := range []string{"pipeline bfs", "enumerated", "deduplicated", "cycles"} {
+		if !strings.Contains(parallel, want) {
+			t.Errorf("-autotune output missing %q:\n%s", want, parallel)
+		}
+	}
+	serial := run(t, "phloemc", "-autotune", "BFS", "-j", "1")
+	if stripTiming(serial) != stripTiming(parallel) {
+		t.Errorf("-j 1 and -j 4 diverged:\n--- serial\n%s--- parallel\n%s", serial, parallel)
+	}
+
+	// A kernel argument alongside -autotune is a usage error (exit 2).
+	cmd := exec.Command(filepath.Join(binDir, "phloemc"), "-autotune", "BFS", "extra.c")
+	out, err := cmd.CombinedOutput()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+		t.Errorf("-autotune with a kernel argument should exit 2: %v\n%s", err, out)
+	}
+	// An unknown benchmark is a runtime error (exit 1).
+	cmd = exec.Command(filepath.Join(binDir, "phloemc"), "-autotune", "no-such-bench")
+	out, err = cmd.CombinedOutput()
+	if !errors.As(err, &ee) || ee.ExitCode() != 1 {
+		t.Errorf("-autotune with an unknown benchmark should exit 1: %v\n%s", err, out)
+	}
+}
+
 func TestTacocEmitsAndPipelines(t *testing.T) {
 	out := run(t, "tacoc", "-pipeline", "spmv")
 	for _, want := range []string{"y(i) = A(i,j) * x(j)", "taco_spmv", "pipeline"} {

@@ -18,13 +18,18 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: table3|table4|table5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|ablations|chaos|telemetry|all")
+		"experiment: table3|table4|table5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|ablations|chaos|telemetry|search|all")
 	scale := flag.String("scale", "test", "input scale: test|full")
 	verbose := flag.Bool("v", false, "print per-input rows")
 	chaosSeeds := flag.Int("chaos-seeds", 4, "seeded fault plans to add to the chaos sweep (beyond the named plans)")
+	parallel := flag.Int("j", 0,
+		"autotune/search worker parallelism (0 = GOMAXPROCS, 1 = serial; results are identical for every value)")
+	searchOut := flag.String("search-out", "BENCH_search.json",
+		"output path for the -exp search report")
 	flag.Parse()
 
-	cfg := bench.Config{Scale: workloads.ScaleTest, Out: os.Stdout, Verbose: *verbose}
+	cfg := bench.Config{Scale: workloads.ScaleTest, Out: os.Stdout, Verbose: *verbose,
+		Parallelism: *parallel}
 	if *scale == "full" {
 		cfg.Scale = workloads.ScaleFull
 	}
@@ -69,6 +74,11 @@ func main() {
 			return bench.Chaos(cfg, *chaosSeeds)
 		case "telemetry":
 			return bench.Telemetry(cfg)
+		case "search":
+			if err := bench.SearchPerfJSON(cfg, *searchOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *searchOut)
 		case "all":
 			return bench.All(cfg)
 		default:

@@ -14,12 +14,18 @@
 // Exit codes: 0 clean (warnings allowed), 1 compile or verifier errors,
 // 2 usage errors.
 //
+// With -autotune <bench> it runs the profile-guided search for one of the
+// built-in workload benchmarks on its training inputs (no kernel argument)
+// and prints the chosen pipeline plus search statistics; -j sets the search
+// worker parallelism (results are identical at every level).
+//
 // Usage:
 //
 //	phloemc kernel.c
 //	phloemc -threads 4 -passes Q,R,CV -dump kernel.c
 //	phloemc -lint kernel.c
 //	phloemc -effects kernel.c
+//	phloemc -autotune BFS -j 4
 package main
 
 import (
@@ -27,8 +33,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"phloem/internal/arch"
+	"phloem/internal/bench"
 	"phloem/internal/core"
 	"phloem/internal/effects"
 	"phloem/internal/ir"
@@ -36,6 +44,7 @@ import (
 	"phloem/internal/pipeline"
 	"phloem/internal/source"
 	"phloem/internal/verify"
+	"phloem/internal/workloads"
 )
 
 // injectRogueCode plants a control code no consumer dispatches next to the
@@ -53,6 +62,37 @@ func injectRogueCode(pl *pipeline.Pipeline) {
 	}
 }
 
+// runAutotune searches the candidate space of one built-in workload
+// benchmark on its training inputs and prints the winning pipeline plus
+// search statistics.
+func runAutotune(name string, parallelism, threads int) error {
+	wl, err := workloads.ByName(workloads.ScaleTest, name)
+	if err != nil {
+		return err
+	}
+	prog, err := workloads.CompileSerial(wl.SerialSource)
+	if err != nil {
+		return err
+	}
+	opt := core.DefaultOptions()
+	opt.Mode = core.Autotune
+	opt.MaxThreads = threads
+	opt.Training = bench.Trainers(wl)
+	opt.Parallelism = parallelism
+	start := time.Now()
+	res, err := core.Compile(prog, opt)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Print(res.Pipeline.Describe())
+	fmt.Printf("\nsearch: enumerated %d candidates, measured %d, deduplicated %d, skipped %d\n",
+		res.Enumerated, res.Searched, res.Deduped, len(res.Skips))
+	fmt.Printf("best training run: %d cycles; search took %s (parallelism %d)\n",
+		res.TrainCycles, elapsed.Round(time.Millisecond), parallelism)
+	return nil
+}
+
 func main() {
 	threads := flag.Int("threads", 4, "maximum pipeline threads (SMT width)")
 	passList := flag.String("passes", "all",
@@ -63,7 +103,22 @@ func main() {
 		"print the frontend memory-effects analysis (points-to, MOD/REF, alias verdicts) and stop")
 	lintInject := flag.Bool("lint-inject", false,
 		"with -lint: inject a control-protocol violation first (demonstration)")
+	autotuneBench := flag.String("autotune", "",
+		"run the profile-guided search for a built-in benchmark (e.g. BFS) instead of compiling a kernel file")
+	parallel := flag.Int("j", 0,
+		"with -autotune: search worker parallelism (0 = GOMAXPROCS, 1 = serial; results are identical for every value)")
 	flag.Parse()
+	if *autotuneBench != "" {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: phloemc -autotune <bench> [-j N] (no kernel argument)")
+			os.Exit(2)
+		}
+		if err := runAutotune(*autotuneBench, *parallel, *threads); err != nil {
+			fmt.Fprintln(os.Stderr, "phloemc:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: phloemc [flags] kernel.c")
 		os.Exit(2)

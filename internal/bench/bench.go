@@ -26,6 +26,15 @@ type Config struct {
 	Out io.Writer
 	// Verbose also prints per-input rows.
 	Verbose bool
+	// Parallelism is passed to the autotune/Search engine (0 = GOMAXPROCS,
+	// 1 = serial). Results are identical for every value; only wall-clock
+	// time changes.
+	Parallelism int
+	// SkipSearchBaseline drops the pre-engine baseline leg (serial, no
+	// branch-and-bound pruning) from the SearchPerf comparison. The native
+	// test suite sets it to keep the bench package inside the go test
+	// timeout; `phloembench -exp search` measures the full three-way run.
+	SkipSearchBaseline bool
 }
 
 func (c Config) printf(format string, args ...any) {
@@ -92,10 +101,12 @@ type BenchResult struct {
 	StaticSpeedup float64
 }
 
-// trainers builds the autotuner's training callbacks for a benchmark. Each
+// Trainers builds the autotuner's training callbacks for a benchmark. Each
 // callback applies the per-candidate budget so pathological candidates
-// abort instead of hanging the search.
-func trainers(bench *workloads.Benchmark) []core.TrainFunc {
+// abort instead of hanging the search. The callbacks bind fresh input copies
+// per call and share only the read-only input structures, so concurrent
+// search workers may invoke them on different pipelines simultaneously.
+func Trainers(bench *workloads.Benchmark) []core.TrainFunc {
 	var out []core.TrainFunc
 	for _, in := range bench.Train {
 		in := in
@@ -108,6 +119,16 @@ func trainers(bench *workloads.Benchmark) []core.TrainFunc {
 		})
 	}
 	return out
+}
+
+// autotuneOptions is the standard profile-guided configuration for a
+// benchmark under this Config.
+func autotuneOptions(cfg Config, bench *workloads.Benchmark) core.Options {
+	opt := core.DefaultOptions()
+	opt.Mode = core.Autotune
+	opt.Training = Trainers(bench)
+	opt.Parallelism = cfg.Parallelism
+	return opt
 }
 
 // RunBenchmark measures serial, data-parallel, Phloem (PGO + static), and
@@ -123,10 +144,7 @@ func RunBenchmark(cfg Config, bench *workloads.Benchmark) (*BenchResult, error) 
 	if err != nil {
 		return nil, fmt.Errorf("%s static: %w", bench.Name, err)
 	}
-	opt := core.DefaultOptions()
-	opt.Mode = core.Autotune
-	opt.Training = trainers(bench)
-	pgoRes, err := core.Compile(serialProg, opt)
+	pgoRes, err := core.Compile(serialProg, autotuneOptions(cfg, bench))
 	if err != nil {
 		return nil, fmt.Errorf("%s autotune: %w", bench.Name, err)
 	}
@@ -325,7 +343,11 @@ func Fig13(cfg Config) error {
 			serTotal += st.Cycles
 		}
 		opt := core.DefaultOptions()
-		opt.Training = trainers(bench)
+		opt.Training = Trainers(bench)
+		opt.Parallelism = cfg.Parallelism
+		// Fig. 13 is the landscape itself: disable branch-and-bound so slow
+		// candidates report true cycle counts instead of SkipBudget.
+		opt.Exhaustive = true
 		points, err := core.Search(serialProg, opt)
 		if err != nil {
 			return err

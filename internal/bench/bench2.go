@@ -118,10 +118,7 @@ func Fig14(cfg Config) error {
 			return fmt.Errorf("fig14 %s dp: %w", name, err)
 		}
 
-		opt := core.DefaultOptions()
-		opt.Mode = core.Autotune
-		opt.Training = trainers(bench)
-		res, err := core.Compile(serialProg, opt)
+		res, err := core.Compile(serialProg, autotuneOptions(cfg, bench))
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in; long
+// simulation sweeps scale themselves down under its ~10x slowdown.
+const raceEnabled = true

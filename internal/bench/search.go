@@ -1,0 +1,190 @@
+package bench
+
+// The search-engine benchmark: autotunes every benchmark in the suite three
+// ways — the pre-engine baseline (serial, every candidate measured under the
+// full BudgetFactor budget, the cost profile the search had before the
+// branch-and-bound engine), the engine fully serial, and the engine with the
+// configured worker parallelism. The two engine runs must pick byte-identical
+// results (the determinism contract), and the baseline must agree on the
+// winning pipeline. The report carries wall-clock time per leg, the headline
+// speedup (baseline vs parallel engine: pruning + dedup + parallelism
+// combined), and the engine-only parallel speedup. `phloembench -exp search`
+// writes the report to BENCH_search.json.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"phloem/internal/core"
+	"phloem/internal/workloads"
+)
+
+// SearchRow is one benchmark's search measurement across the three legs.
+type SearchRow struct {
+	Name string `json:"name"`
+	// Enumerated counts candidate configurations walked (duplicates
+	// included); Searched, Deduped, and Skipped split them up.
+	Enumerated int `json:"enumerated"`
+	Searched   int `json:"searched"`
+	Deduped    int `json:"deduped"`
+	Skipped    int `json:"skipped"`
+	// BestStages/BestCycles identify the winning pipeline (identical
+	// across all three legs by construction).
+	BestStages int    `json:"best_stages"`
+	BestCycles uint64 `json:"best_train_cycles"`
+	// BaselineMS is the pre-engine search: serial, no candidate pruning
+	// (0 when the baseline leg is skipped).
+	BaselineMS float64 `json:"baseline_ms"`
+	SerialMS   float64 `json:"serial_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	// Speedup is baseline/parallel — the full win of the engine over the
+	// search it replaced (serial/parallel when the baseline leg is skipped).
+	Speedup float64 `json:"speedup"`
+	// ParSpeedup is serial/parallel: the worker-pool contribution alone.
+	ParSpeedup      float64 `json:"parallel_speedup"`
+	SerialCandsSec  float64 `json:"candidates_per_sec_serial"`
+	ParallelCandSec float64 `json:"candidates_per_sec_parallel"`
+}
+
+// SearchReport is the BENCH_search.json schema.
+type SearchReport struct {
+	Parallelism int         `json:"parallelism"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	NumCPU      int         `json:"numcpu"`
+	Scale       string      `json:"scale"`
+	Benchmarks  []SearchRow `json:"benchmarks"`
+	TotalBaseMS float64     `json:"total_baseline_ms"`
+	TotalSerMS  float64     `json:"total_serial_ms"`
+	TotalParMS  float64     `json:"total_parallel_ms"`
+	// Speedup is total baseline/parallel (serial/parallel when the baseline
+	// leg is skipped); ParSpeedup is total serial/parallel.
+	Speedup    float64 `json:"speedup"`
+	ParSpeedup float64 `json:"parallel_speedup"`
+}
+
+// searchSignature summarizes everything observable about an autotune result;
+// serial and parallel engine runs must agree on it exactly.
+func searchSignature(res *core.Result) string {
+	sig := fmt.Sprintf("best=%q stages=%d ras=%d cycles=%d searched=%d deduped=%d enum=%d",
+		res.Pipeline.Description, res.Pipeline.NumStages(), len(res.Pipeline.RAs),
+		res.TrainCycles, res.Searched, res.Deduped, res.Enumerated)
+	for _, s := range res.Skips {
+		sig += fmt.Sprintf("|skip phase=%d subset=%v reason=%s err=%v", s.Phase, s.Subset, s.Reason, s.Err)
+	}
+	return sig
+}
+
+// SearchPerf runs the baseline-vs-serial-vs-parallel autotune comparison over
+// the whole suite and returns the report. Parallelism comes from cfg
+// (0 = GOMAXPROCS); cfg.SkipSearchBaseline drops the (slow) baseline leg.
+func SearchPerf(cfg Config) (*SearchReport, error) {
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	scale := "test"
+	if cfg.Scale == workloads.ScaleFull {
+		scale = "full"
+	}
+	rep := &SearchReport{Parallelism: par, GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU: runtime.NumCPU(), Scale: scale}
+	cfg.printf("\nSearch engine: baseline (no pruning) vs serial vs parallel autotune (parallelism %d)\n", par)
+	cfg.printf("%-8s %6s %6s %6s %6s %11s %10s %10s %8s %8s\n",
+		"bench", "enum", "meas", "dedup", "skip", "baseline ms", "serial ms", "par ms", "speedup", "par-only")
+	for _, bench := range workloads.Benchmarks(cfg.Scale) {
+		prog, err := workloads.CompileSerial(bench.SerialSource)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", bench.Name, err)
+		}
+		run := func(parallelism int, exhaustive bool) (*core.Result, float64, error) {
+			opt := autotuneOptions(cfg, bench)
+			opt.Parallelism = parallelism
+			opt.Exhaustive = exhaustive
+			start := time.Now()
+			res, err := core.Compile(prog, opt)
+			if err != nil {
+				return nil, 0, fmt.Errorf("%s (parallelism %d): %w", bench.Name, parallelism, err)
+			}
+			return res, float64(time.Since(start).Microseconds()) / 1e3, nil
+		}
+		var baseMS float64
+		var baseRes *core.Result
+		if !cfg.SkipSearchBaseline {
+			if baseRes, baseMS, err = run(1, true); err != nil {
+				return nil, err
+			}
+		}
+		serRes, serMS, err := run(1, false)
+		if err != nil {
+			return nil, err
+		}
+		parRes, parMS, err := run(par, false)
+		if err != nil {
+			return nil, err
+		}
+		if s, p := searchSignature(serRes), searchSignature(parRes); s != p {
+			return nil, fmt.Errorf("%s: parallel search diverged from serial:\nserial:   %s\nparallel: %s",
+				bench.Name, s, p)
+		}
+		if baseRes != nil {
+			// Pruning only aborts losers, so the exhaustive baseline must
+			// crown the same winner with the same training cycle count.
+			if baseRes.Pipeline.Description != serRes.Pipeline.Description ||
+				baseRes.TrainCycles != serRes.TrainCycles {
+				return nil, fmt.Errorf("%s: baseline search picked %q (%d cycles), engine picked %q (%d cycles)",
+					bench.Name, baseRes.Pipeline.Description, baseRes.TrainCycles,
+					serRes.Pipeline.Description, serRes.TrainCycles)
+			}
+		}
+		row := SearchRow{
+			Name:            bench.Name,
+			Enumerated:      serRes.Enumerated,
+			Searched:        serRes.Searched,
+			Deduped:         serRes.Deduped,
+			Skipped:         len(serRes.Skips),
+			BestStages:      serRes.Pipeline.NumStages(),
+			BestCycles:      serRes.TrainCycles,
+			BaselineMS:      baseMS,
+			SerialMS:        serMS,
+			ParallelMS:      parMS,
+			Speedup:         serMS / parMS,
+			ParSpeedup:      serMS / parMS,
+			SerialCandsSec:  float64(serRes.Enumerated) / (serMS / 1e3),
+			ParallelCandSec: float64(serRes.Enumerated) / (parMS / 1e3),
+		}
+		if baseMS > 0 {
+			row.Speedup = baseMS / parMS
+		}
+		rep.Benchmarks = append(rep.Benchmarks, row)
+		rep.TotalBaseMS += baseMS
+		rep.TotalSerMS += serMS
+		rep.TotalParMS += parMS
+		cfg.printf("%-8s %6d %6d %6d %6d %11.1f %10.1f %10.1f %7.2fx %7.2fx\n",
+			row.Name, row.Enumerated, row.Searched, row.Deduped, row.Skipped,
+			row.BaselineMS, row.SerialMS, row.ParallelMS, row.Speedup, row.ParSpeedup)
+	}
+	rep.ParSpeedup = rep.TotalSerMS / rep.TotalParMS
+	rep.Speedup = rep.ParSpeedup
+	if rep.TotalBaseMS > 0 {
+		rep.Speedup = rep.TotalBaseMS / rep.TotalParMS
+	}
+	cfg.printf("%-8s %43.1f %10.1f %10.1f %7.2fx %7.2fx\n",
+		"total", rep.TotalBaseMS, rep.TotalSerMS, rep.TotalParMS, rep.Speedup, rep.ParSpeedup)
+	return rep, nil
+}
+
+// SearchPerfJSON runs SearchPerf and writes the report to path.
+func SearchPerfJSON(cfg Config, path string) error {
+	rep, err := SearchPerf(cfg)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

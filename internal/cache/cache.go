@@ -78,8 +78,12 @@ func newLevel(cfg Config, lineBytes int) *level {
 		sets:    make([][]line, nSets),
 		setMask: uint64(nSets - 1),
 	}
+	// All sets share one backing arena: the autotuner builds a fresh
+	// hierarchy per measured candidate, and a per-set make() here dominated
+	// its allocation counts.
+	arena := make([]line, nSets*cfg.Ways)
 	for i := range lv.sets {
-		lv.sets[i] = make([]line, cfg.Ways)
+		lv.sets[i] = arena[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 	}
 	for lb := lineBytes; lb > 1; lb >>= 1 {
 		lv.lineBits++

@@ -154,13 +154,64 @@ func classify(err error) SkipReason {
 	return SkipError
 }
 
-// tryCandidate measures one candidate, converting panics into errors so a
-// crashing candidate cannot take down the whole search.
-func tryCandidate(pipe *pipeline.Pipeline, opt Options, b Budget) (cycles uint64, err error) {
+// timingIndependent reports whether a measurement failure cannot depend on
+// the cycle budget: traps and functional-trace limits fire during functional
+// simulation, before a single cycle is timed, so the same failure occurs
+// under any Budget.Cycles value. Deadlocks and cycle-budget aborts are
+// timing-phase outcomes and are NOT timing-independent.
+func timingIndependent(err error) bool {
+	return errors.Is(err, sim.ErrTraceLimit) || errors.Is(err, sim.ErrTrap)
+}
+
+// errBudget is the canonical cycle-budget skip error. Budget skips are
+// recorded without cycle counts: the exact abort cycle depends on the
+// branch-and-bound bound in force when the candidate ran, which a parallel
+// worker may observe at a stale (looser) value than the serial order
+// prescribes. The abort *verdict* is monotone in the bound — aborting under
+// a looser bound implies aborting under the exact one — but the counts are
+// not, so a canonical record is what lets the merger keep budget aborts
+// verbatim instead of re-measuring every one under the exact bound.
+var errBudget = fmt.Errorf("core: training cycle budget exhausted: %w", sim.ErrCycleBudget)
+
+// measureAll runs every training input, charging all of them against one
+// cumulative cycle bound (0 = unlimited): input i runs with the cycles the
+// earlier inputs left over, and once the total reaches the bound the
+// remaining inputs are not simulated at all. The bound is what
+// branch-and-bound tightens — a candidate whose running total passes the
+// best-known total cannot win, so it aborts with a budget error. bound is
+// re-evaluated before each input so long measurements pick up tightening
+// published while they run; it must be non-increasing across calls.
+//
+// base supplies the per-input trace cap and any probe; base.Cycles is
+// superseded by bound. On error the returned cycle count is the total
+// accumulated before the failing (or skipped) input.
+func measureAll(pipe *pipeline.Pipeline, opt Options, base Budget, bound func() uint64) (uint64, error) {
+	var total uint64
+	for _, train := range opt.Training {
+		bn := bound()
+		if bn > 0 && total >= bn {
+			return total, errBudget
+		}
+		b := base
+		if bn > 0 {
+			b.Cycles = bn - total
+		}
+		c, err := train(pipe, b)
+		if err != nil {
+			return total, err
+		}
+		total += c
+	}
+	return total, nil
+}
+
+// tryMeasure is measureAll under panic recovery, so a crashing candidate
+// cannot take down the whole search.
+func tryMeasure(pipe *pipeline.Pipeline, opt Options, base Budget, bound func() uint64) (cycles uint64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			cycles, err = 0, &panicError{val: r}
 		}
 	}()
-	return measure(pipe, opt, b)
+	return measureAll(pipe, opt, base, bound)
 }

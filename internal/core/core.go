@@ -55,6 +55,18 @@ type Options struct {
 	// MaxCandidates bounds the candidate points considered per phase during
 	// the search (default 5).
 	MaxCandidates int
+	// Parallelism bounds the candidate-search worker pool: up to this many
+	// candidates build, verify, and measure concurrently, each on private
+	// machines (0 = runtime.GOMAXPROCS(0), 1 = fully serial). Results merge
+	// in enumeration order, so Result and Search output are identical for
+	// every value.
+	Parallelism int
+	// Exhaustive disables branch-and-bound budget tightening: every
+	// candidate is measured under the full BudgetFactor budget even after a
+	// faster best is known. Landscape experiments (Fig. 13) set this to see
+	// true cycle counts for slow candidates; the default search aborts them
+	// with SkipBudget instead.
+	Exhaustive bool
 	// Trace receives search progress lines (optional).
 	Trace func(format string, args ...any)
 	// SkipVerify disables the static pipeline verifier that otherwise
@@ -63,14 +75,21 @@ type Options struct {
 	SkipVerify bool
 	// PostBuild, when set, is applied to every built pipeline before it is
 	// verified or measured. It exists for fault injection in tests and for
-	// `phloemc -lint` demonstrations; production callers leave it nil.
+	// `phloemc -lint` demonstrations; production callers leave it nil. With
+	// Parallelism > 1 it is called from concurrent search workers (each on
+	// its own candidate pipeline), so implementations must not touch shared
+	// mutable state.
 	PostBuild func(*pipeline.Pipeline)
 	// CandidateProbe, when set, supplies a telemetry probe (typically a
-	// fresh telemetry.Collector) for each measured autotune/Search
-	// candidate, identified by phase index and point subset (the static
-	// pipeline measures as phase -1 with a nil subset). The probe samples
-	// every Machine.TelemetryInterval cycles and observes every training
-	// input of that candidate; it never changes measured cycles.
+	// fresh telemetry.Collector) for each unique autotune/Search candidate,
+	// identified by phase index and point subset (the static pipeline is
+	// phase -1 with a nil subset). The factory is called once per unique
+	// candidate at enumeration time, on one goroutine, in enumeration order
+	// — deduplicated candidates and bound-exact re-measurements are not
+	// probed. The probe samples every Machine.TelemetryInterval cycles and
+	// observes every training input of that candidate; it never changes
+	// measured cycles, but the probe itself must tolerate being driven from
+	// a worker goroutine when Parallelism > 1.
 	CandidateProbe func(phase int, subset []int) sim.Probe
 }
 
@@ -97,8 +116,19 @@ func DefaultOptions() Options {
 type Result struct {
 	Pipeline *pipeline.Pipeline
 	Prog     *ir.Prog
-	// Searched reports how many candidate pipelines the autotuner measured.
+	// Searched reports how many distinct pipelines the autotuner measured:
+	// the serial baseline plus every unique candidate that built cleanly and
+	// entered training (including ones the budget aborted mid-measurement).
+	// Deduplicated candidates are never re-measured and do not count.
 	Searched int
+	// Deduped counts enumerated candidates whose configuration coincided
+	// with an earlier candidate's (canonical fingerprint match) and reused
+	// its memoized result instead of being rebuilt and re-measured.
+	Deduped int
+	// Enumerated is the total number of candidate configurations the search
+	// walked (the static pipeline plus every per-phase subset, duplicates
+	// included; the serial baseline is not a candidate).
+	Enumerated int
 	// TrainCycles is the selected pipeline's summed training cycle count
 	// (autotune mode only).
 	TrainCycles uint64
@@ -265,6 +295,13 @@ func finishPipeline(pipe *pipeline.Pipeline, opt Options) error {
 // case); multi-phase programs tune each phase greedily against the others'
 // static choices to keep the search tractable.
 //
+// The enumeration is handed to the search engine in search.go, which
+// deduplicates coinciding configurations (the static pipeline is candidate
+// zero, so an enumerated subset equal to the static cut is never re-measured),
+// measures candidates on Options.Parallelism workers, and tightens the cycle
+// budget to the best total seen so far — slower candidates abort with
+// SkipBudget since they cannot win (disable with Options.Exhaustive).
+//
 // The search is crash-proof: the serial pipeline (measured first, and the
 // source of the per-candidate budget) is a guaranteed-valid fallback best,
 // every candidate build+measure runs under panic recovery, and each dropped
@@ -281,69 +318,45 @@ func autotune(p *ir.Prog, phases []*analysis.Phase, cands [][]*analysis.Candidat
 		return nil, fmt.Errorf("core: serial baseline failed training: %w", err)
 	}
 	budget := candidateBudget(serialCycles, opt.BudgetFactor)
+	// The trace deliberately omits the parallelism level: search traces are
+	// byte-identical for every Options.Parallelism value.
 	trace("autotune: serial baseline %d train cycles (candidate budget %d cycles)",
 		serialCycles, budget.Cycles)
 
-	bestPipe, bestCycles := serial, serialCycles
-	searched := 1
-	var skips []CandidateSkip
+	tasks := newTaskList(opt, budget)
+	tasks.add(-1, nil, staticFullPoints(p, phases, cands, opt.MaxThreads))
+	tasks.enumerate(phases, cands, staticEnumPoints(cands, opt.MaxThreads),
+		opt.MaxCandidates, opt.MaxThreads)
 
-	static, err := buildStatic(p, cands, opt)
-	if err != nil {
-		skips = append(skips, CandidateSkip{Phase: -1, Reason: classify(err), Err: err})
-		trace("autotune: static pipeline skipped: %v", err)
-	} else if cycles, err := tryCandidate(static.Pipeline, opt, opt.probed(budget, -1, nil)); err != nil {
-		skips = append(skips, CandidateSkip{Phase: -1, Reason: classify(err), Err: err})
-		trace("autotune: static pipeline failed training: %v", err)
-	} else {
-		searched++
-		trace("autotune: static pipeline %d train cycles", cycles)
-		if cycles < bestCycles {
-			bestCycles, bestPipe = cycles, static.Pipeline
-		}
-	}
-
-	staticPoints := make([][]*analysis.Candidate, len(cands))
-	for i, cs := range cands {
-		staticPoints[i] = staticCut(cs, opt.MaxThreads)
-	}
-
-	for pi := range phases {
-		top := cands[pi]
-		if len(top) > opt.MaxCandidates {
-			top = top[:opt.MaxCandidates]
-		}
-		for _, subset := range subsets(len(top), opt.MaxThreads-1) {
-			pts := make([]*analysis.Candidate, len(subset))
-			for j, idx := range subset {
-				pts[j] = top[idx]
+	res := &Result{Pipeline: serial, Prog: p, Searched: 1, TrainCycles: serialCycles,
+		ReplicateRequested: p.Replicate, Enumerated: len(tasks.tasks)}
+	s := newSearcher(p, opt, budget, serialCycles)
+	s.run(tasks.tasks, func(t *candTask, f *candFinal) {
+		switch {
+		case f.dup:
+			res.Deduped++
+			if f.skip != nil {
+				res.Skips = append(res.Skips, *f.skip)
 			}
-			points := make([][]*analysis.Candidate, len(cands))
-			copy(points, staticPoints)
-			points[pi] = analysis.OrderPoints(pts)
-			pipe, skip := buildCandidate(p, pi, subset, points, opt)
-			if skip != nil {
-				skips = append(skips, *skip)
-				trace("autotune: pipeline %v skipped (%s): %v", subset, skip.Reason, skip.Err)
-				continue
+			trace("autotune: pipeline %s deduplicated (same configuration as an earlier candidate)",
+				subsetDesc(t))
+		case f.skip != nil:
+			if f.pipe != nil {
+				// Built cleanly and entered measurement before failing.
+				res.Searched++
 			}
-			searched++
-			cycles, err := tryCandidate(pipe, opt, opt.probed(budget, pi, subset))
-			if err != nil {
-				skips = append(skips, CandidateSkip{Phase: pi, Subset: subset, Reason: classify(err), Err: err})
-				trace("autotune: pipeline %v failed (%s): %v", subset, classify(err), err)
-				continue
-			}
-			trace("autotune: %d stages (+%d RAs) subset %v -> %d cycles",
-				pipe.NumStages(), len(pipe.RAs), subset, cycles)
-			if cycles < bestCycles {
-				bestCycles = cycles
-				bestPipe = pipe
+			res.Skips = append(res.Skips, *f.skip)
+			trace("autotune: pipeline %s skipped (%s): %v", subsetDesc(t), f.skip.Reason, f.skip.Err)
+		default:
+			res.Searched++
+			trace("autotune: pipeline %s: %d stages (+%d RAs) -> %d cycles",
+				subsetDesc(t), f.pipe.NumStages(), len(f.pipe.RAs), f.cycles)
+			if f.cycles < res.TrainCycles {
+				res.TrainCycles, res.Pipeline = f.cycles, f.pipe
 			}
 		}
-	}
-	return &Result{Pipeline: bestPipe, Prog: p, Searched: searched, TrainCycles: bestCycles,
-		ReplicateRequested: p.Replicate, Skips: skips}, nil
+	})
+	return res, nil
 }
 
 // buildCandidate builds and verifies one candidate pipeline under panic
@@ -410,43 +423,26 @@ func Search(p *ir.Prog, opt Options) (out []SearchPoint, err error) {
 		return nil, fmt.Errorf("core: serial baseline failed training: %w", err)
 	}
 	budget := candidateBudget(serialCycles, opt.BudgetFactor)
-	for pi := range phases {
-		top := cands[pi]
-		if len(top) > opt.MaxCandidates {
-			top = top[:opt.MaxCandidates]
+
+	tasks := newTaskList(opt, budget)
+	tasks.enumerate(phases, cands, staticEnumPoints(cands, opt.MaxThreads),
+		opt.MaxCandidates, opt.MaxThreads)
+
+	// The serial pipeline is not a search point, so branch-and-bound starts
+	// with no incumbent: the first measured candidate sets the bound.
+	// Duplicated configurations still yield one point each (the landscape
+	// has one dot per subset), resolved from the memoized original.
+	s := newSearcher(p, opt, budget, noBest)
+	s.run(tasks.tasks, func(t *candTask, f *candFinal) {
+		pt := SearchPoint{TotalStages: f.stages, Subset: t.subset}
+		if f.skip != nil {
+			pt.Skip = f.skip
+		} else {
+			pt.Cycles = f.cycles
 		}
-		for _, subset := range subsets(len(top), opt.MaxThreads-1) {
-			pts := make([]*analysis.Candidate, len(subset))
-			for j, idx := range subset {
-				pts[j] = top[idx]
-			}
-			points := make([][]*analysis.Candidate, len(cands))
-			for i, cs := range cands {
-				points[i] = staticCut(cs, opt.MaxThreads)
-			}
-			points[pi] = analysis.OrderPoints(pts)
-			pipe, skip := buildCandidate(p, pi, subset, points, opt)
-			if skip != nil {
-				out = append(out, SearchPoint{Subset: subset, Skip: skip})
-				continue
-			}
-			cycles, err := tryCandidate(pipe, opt, opt.probed(budget, pi, subset))
-			if err != nil {
-				out = append(out, SearchPoint{
-					TotalStages: pipe.TotalStages(),
-					Subset:      subset,
-					Skip:        &CandidateSkip{Phase: pi, Subset: subset, Reason: classify(err), Err: err},
-				})
-				continue
-			}
-			out = append(out, SearchPoint{
-				TotalStages: pipe.TotalStages(),
-				Cycles:      cycles,
-				Subset:      subset,
-			})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].TotalStages < out[j].TotalStages })
+		out = append(out, pt)
+	})
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TotalStages < out[j].TotalStages })
 	return out, nil
 }
 
@@ -463,14 +459,28 @@ func measure(pipe *pipeline.Pipeline, opt Options, b Budget) (uint64, error) {
 }
 
 // subsets enumerates all non-empty subsets of {0..n-1} with size <= maxSize,
-// in deterministic order.
+// in deterministic order. The exact subset count and total element count are
+// binomial sums, so both the outer slice and a shared element arena are
+// sized up front: the whole enumeration is three allocations.
 func subsets(n, maxSize int) [][]int {
-	var out [][]int
-	var cur []int
+	if maxSize > n {
+		maxSize = n
+	}
+	count, elems := 0, 0
+	for k, c := 1, 1; k <= maxSize; k++ {
+		c = c * (n - k + 1) / k // C(n, k)
+		count += c
+		elems += c * k
+	}
+	out := make([][]int, 0, count)
+	arena := make([]int, 0, elems)
+	cur := make([]int, 0, maxSize)
 	var rec func(start int)
 	rec = func(start int) {
 		if len(cur) > 0 {
-			out = append(out, append([]int(nil), cur...))
+			at := len(arena)
+			arena = append(arena, cur...)
+			out = append(out, arena[at:len(arena):len(arena)])
 		}
 		if len(cur) == maxSize {
 			return

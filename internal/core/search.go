@@ -1,0 +1,443 @@
+package core
+
+// The candidate-search engine behind autotune and Search (Sec. V, Fig. 8).
+//
+// Candidates are enumerated up front in a deterministic order, deduplicated
+// by a canonical fingerprint, and measured by a pool of Options.Parallelism
+// workers, each building and simulating its candidate on a private machine.
+// Results are merged strictly in enumeration order, so best-pipeline
+// selection, Result.Searched, Result.Skips, and Search's output are
+// byte-identical to a serial run no matter how worker completions interleave.
+//
+// Three mechanisms cooperate:
+//
+//   - Dedup: a candidate's fingerprint is the canonical (phase,
+//     ordered-points) key of its whole pipeline configuration. Coinciding
+//     candidates (the static cut re-appearing in the enumeration, identical
+//     subsets across phases) are built and measured once; later occurrences
+//     resolve from the memo without touching a simulator.
+//
+//   - Branch-and-bound: each candidate's cycle budget starts at
+//     serial x BudgetFactor but shrinks to the best total seen so far (a
+//     candidate slower than the current best cannot win), so losing
+//     candidates abort early with SkipBudget. Workers re-read the
+//     best-so-far bound from an atomic before every training input; the
+//     merger re-checks every result against the bound a strictly serial
+//     search would have used at that candidate's enumeration index. Budget
+//     verdicts are monotone in the bound and recorded canonically (see
+//     errBudget), so completions and budget aborts finalize without
+//     re-simulation; only a stale-bound deadlock/panic re-measures under
+//     the exact bound. That keeps tightening deterministic.
+//
+//   - Isolation: pipeline construction appends fresh variables to the
+//     program, so each worker builds against a shallow clone of the Prog
+//     with its own Vars table. Clones share the (read-only) statement tree;
+//     generated variable numbering is per-clone and therefore identical to a
+//     serial run's for every candidate.
+//
+// Options.Trace lines and SearchPoint/skip records are emitted by the merger
+// in enumeration order; Options.CandidateProbe is invoked once per unique
+// candidate at enumeration time (single-threaded, deterministic order).
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+
+	"phloem/internal/analysis"
+	"phloem/internal/ir"
+	"phloem/internal/pipeline"
+	"phloem/internal/sim"
+)
+
+// parallelism resolves Options.Parallelism: 0 defaults to GOMAXPROCS, 1 is
+// the serial path.
+func (o *Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// noBest marks "no finalized candidate yet" in the branch-and-bound state.
+const noBest = ^uint64(0)
+
+// candTask is one enumerated candidate pipeline configuration.
+type candTask struct {
+	seq    int   // enumeration index: the deterministic merge and tie-break key
+	phase  int   // tuned phase (-1: the static pipeline)
+	subset []int // indices into the phase's top candidates (nil for static)
+	// points holds the full per-phase point configuration the build uses.
+	points [][]*analysis.Candidate
+	fp     string
+	budget Budget // base measurement budget, with any CandidateProbe attached
+	dupOf  int    // seq of the first task with the same fingerprint (-1: unique)
+}
+
+// candOutcome is a worker's raw result for one unique task.
+type candOutcome struct {
+	seq  int
+	pipe *pipeline.Pipeline
+	skip *CandidateSkip // build/verify failure (pipe may be nil)
+	// cycles is the summed training cycle count; on error it holds the
+	// cycles accumulated before the failing input.
+	cycles uint64
+	merr   error  // measurement error (nil: measured to completion)
+	bound  uint64 // budget bound the measurement ran under (0: unlimited)
+}
+
+// candFinal is a merged, deterministic per-candidate result.
+type candFinal struct {
+	pipe   *pipeline.Pipeline
+	stages int // pipe.TotalStages() when the build succeeded
+	cycles uint64
+	skip   *CandidateSkip // non-nil: the candidate was dropped (cycles meaningless)
+	dup    bool           // resolved from an earlier candidate's memoized result
+}
+
+// fingerprint canonically identifies a pipeline configuration: for every
+// phase, the ordered decoupling points by their stable load identity.
+// Candidates enumerated from different directions (static cut, forced
+// points, subset enumeration) that select the same loads get the same key.
+func fingerprint(points [][]*analysis.Candidate) string {
+	buf := make([]byte, 0, 16*len(points))
+	for _, pts := range points {
+		buf = append(buf, '|')
+		for _, c := range pts {
+			buf = strconv.AppendInt(buf, int64(c.Load.LoadID), 10)
+			buf = append(buf, ',')
+		}
+	}
+	return string(buf)
+}
+
+// cloneProg shallow-copies the program with a private Vars table. Pipeline
+// construction appends temporaries via Prog.NewVar; giving every candidate
+// its own copy (1) keeps concurrent builds race-free and (2) makes generated
+// variable numbering independent of build order, so candidate pipelines are
+// identical to a serial run's.
+func cloneProg(p *ir.Prog) *ir.Prog {
+	q := *p
+	q.Vars = make([]ir.VarInfo, len(p.Vars))
+	copy(q.Vars, p.Vars)
+	return &q
+}
+
+// searcher runs candidate tasks and merges their results deterministically.
+type searcher struct {
+	p       *ir.Prog
+	opt     Options
+	base    Budget // per-candidate budget derived from the serial baseline
+	tighten bool   // branch-and-bound: shrink the bound to the best so far
+	// best is the best finalized training cycle count (merger-owned).
+	best uint64
+	// bound is min(base.Cycles, best), republished after every finalize for
+	// in-flight workers; it only ever decreases, and because the merger
+	// finalizes in enumeration order, any value a worker reads is >= the
+	// bound a strictly serial search would use for that candidate.
+	bound atomic.Uint64
+}
+
+func newSearcher(p *ir.Prog, opt Options, base Budget, initialBest uint64) *searcher {
+	s := &searcher{
+		p:       p,
+		opt:     opt,
+		base:    base,
+		tighten: opt.BudgetFactor >= 0 && !opt.Exhaustive,
+		best:    initialBest,
+	}
+	s.bound.Store(s.exactBound())
+	return s
+}
+
+// exactBound is the budget a strictly serial search would apply to the next
+// candidate: the factor-derived base, tightened to the best finalized total.
+func (s *searcher) exactBound() uint64 {
+	b := s.base.Cycles
+	if s.tighten && s.best != noBest && (b == 0 || s.best < b) {
+		b = s.best
+	}
+	return b
+}
+
+// runTask builds, verifies, and measures one unique candidate on a private
+// program clone. Safe to call from multiple goroutines concurrently. The
+// bound is re-read from the atomic before every training input, so long
+// measurements pick up tightening published mid-flight; o.bound records the
+// first read — the loosest value any part of the measurement ran under.
+func (s *searcher) runTask(t *candTask) *candOutcome {
+	o := &candOutcome{seq: t.seq}
+	pipe, skip := buildCandidate(cloneProg(s.p), t.phase, t.subset, t.points, s.opt)
+	if skip != nil {
+		o.skip = skip
+		return o
+	}
+	o.pipe = pipe
+	o.bound = s.bound.Load()
+	first := true
+	o.cycles, o.merr = tryMeasure(pipe, s.opt, t.budget, func() uint64 {
+		if first {
+			first = false
+			return o.bound
+		}
+		return s.bound.Load()
+	})
+	return o
+}
+
+// skipFor builds a candidate's skip record, canonicalizing cycle-budget
+// failures to errBudget (see its doc for why budget records carry no cycle
+// counts).
+func skipFor(t *candTask, err error) *CandidateSkip {
+	r := classify(err)
+	if r == SkipBudget && errors.Is(err, sim.ErrCycleBudget) {
+		err = errBudget
+	}
+	return &CandidateSkip{Phase: t.phase, Subset: t.subset, Reason: r, Err: err}
+}
+
+// finalize converts a raw outcome into the deterministic result for its
+// enumeration slot. The worker may have measured under a looser bound than a
+// serial search would have used (the bound tightens while candidates are in
+// flight, and the merger's publishes always trail its finalize order), never
+// a tighter one. Almost every outcome is decidable from that invariant
+// without touching a simulator:
+//
+//   - A completion strictly under the exact bound is verbatim (a tighter
+//     budget only aborts runs, and at cycles == bound the machine's
+//     `now >= budget` check fires before the done check).
+//   - A completion at or above the exact bound means the serial order would
+//     have aborted it: record the canonical budget skip.
+//   - A cycle-budget abort under any bound >= the exact one implies an abort
+//     under the exact bound (monotone), and the record is canonical.
+//   - Non-budget failures are verbatim when the bound was exact, or when the
+//     failure is budget-independent (functional trap / trace limit) and
+//     every earlier input fit under the exact bound.
+//
+// Only the remaining sliver — a timing-phase deadlock, panic, or verify
+// mismatch observed under a stale bound — re-measures under the exact bound
+// (unprobed; any CandidateProbe already observed the first run). That case
+// never arises at Parallelism 1, where the observed bound is always exact.
+func (s *searcher) finalize(t *candTask, o *candOutcome) *candFinal {
+	if o.skip != nil {
+		return &candFinal{skip: o.skip}
+	}
+	f := &candFinal{pipe: o.pipe, stages: o.pipe.TotalStages()}
+	bound := s.exactBound()
+	switch {
+	case o.merr == nil && (bound == 0 || o.cycles < bound):
+		f.cycles = o.cycles
+	case o.merr == nil || errors.Is(o.merr, sim.ErrCycleBudget):
+		f.skip = skipFor(t, errBudget)
+	case o.bound == bound,
+		timingIndependent(o.merr) && o.cycles < bound:
+		f.skip = skipFor(t, o.merr)
+	case bound > 0 && o.cycles >= bound:
+		// The failing input is one a bound-exact run never reaches: the
+		// inputs before it already exhaust the exact budget.
+		f.skip = skipFor(t, errBudget)
+	default:
+		b := s.base
+		b.Probe, b.TelemetryInterval = nil, 0
+		cycles, err := tryMeasure(o.pipe, s.opt, b, func() uint64 { return bound })
+		if err != nil {
+			f.skip = skipFor(t, err)
+		} else {
+			f.cycles = cycles
+		}
+	}
+	return f
+}
+
+// merge updates the branch-and-bound state with a finalized result and
+// memoizes it for duplicates.
+func (s *searcher) merge(memo map[int]*candFinal, t *candTask, f *candFinal) {
+	memo[t.seq] = f
+	if f.skip == nil && f.cycles < s.best {
+		s.best = f.cycles
+		s.bound.Store(s.exactBound())
+	}
+}
+
+// dupFinal resolves a duplicate task from the original's memoized result:
+// same measurement (or failure), flagged as deduplicated.
+func dupFinal(t *candTask, orig *candFinal) *candFinal {
+	f := *orig
+	f.dup = true
+	if orig.skip != nil {
+		sk := *orig.skip
+		sk.Phase, sk.Subset = t.phase, t.subset
+		f.skip = &sk
+	}
+	return &f
+}
+
+// run measures every task and calls emit exactly once per task, strictly in
+// enumeration order. With parallelism 1 (or a single unique task) everything
+// happens inline on the calling goroutine — the serial path.
+func (s *searcher) run(tasks []*candTask, emit func(*candTask, *candFinal)) {
+	unique := 0
+	for _, t := range tasks {
+		if t.dupOf < 0 {
+			unique++
+		}
+	}
+	nw := s.opt.parallelism()
+	if nw > unique {
+		nw = unique
+	}
+	memo := make(map[int]*candFinal, unique)
+
+	if nw <= 1 {
+		for _, t := range tasks {
+			if t.dupOf >= 0 {
+				emit(t, dupFinal(t, memo[t.dupOf]))
+				continue
+			}
+			f := s.finalize(t, s.runTask(t))
+			s.merge(memo, t, f)
+			emit(t, f)
+		}
+		return
+	}
+
+	// Head start: measure the first task inline before the pool spins up. It
+	// is never a duplicate and the merger finalizes it first anyway, so this
+	// changes nothing observable — but its finalized cycles tighten the
+	// shared bound (in autotune it is the static pipeline, usually close to
+	// the eventual best) before any worker reads it, so the pool never burns
+	// the loose initial budget on candidates the serial order prunes cheaply.
+	head := tasks[0]
+	f := s.finalize(head, s.runTask(head))
+	s.merge(memo, head, f)
+	emit(head, f)
+	rest := tasks[1:]
+	if nw > unique-1 {
+		nw = unique - 1
+	}
+
+	work := make(chan *candTask, unique)
+	outs := make(chan *candOutcome, unique)
+	for i := 0; i < nw; i++ {
+		go func() {
+			for t := range work {
+				outs <- s.runTask(t)
+			}
+		}()
+	}
+	for _, t := range rest {
+		if t.dupOf < 0 {
+			work <- t
+		}
+	}
+	close(work)
+
+	pending := make(map[int]*candOutcome)
+	for _, t := range rest {
+		if t.dupOf >= 0 {
+			// The original has a lower seq and was finalized earlier.
+			emit(t, dupFinal(t, memo[t.dupOf]))
+			continue
+		}
+		o := pending[t.seq]
+		for o == nil {
+			got := <-outs
+			if got.seq == t.seq {
+				o = got
+			} else {
+				pending[got.seq] = got
+			}
+		}
+		delete(pending, t.seq)
+		f := s.finalize(t, o)
+		s.merge(memo, t, f)
+		emit(t, f)
+	}
+}
+
+// taskList accumulates candidate tasks, assigning sequence numbers,
+// fingerprint-deduplicating, and attaching per-candidate probes (in
+// enumeration order, on one goroutine — CandidateProbe and the budget
+// factory are never called concurrently).
+type taskList struct {
+	opt   Options
+	base  Budget
+	seen  map[string]int
+	tasks []*candTask
+}
+
+func newTaskList(opt Options, base Budget) *taskList {
+	return &taskList{opt: opt, base: base, seen: map[string]int{}}
+}
+
+func (l *taskList) add(phase int, subset []int, points [][]*analysis.Candidate) {
+	t := &candTask{seq: len(l.tasks), phase: phase, subset: subset, points: points,
+		fp: fingerprint(points), dupOf: -1}
+	if orig, ok := l.seen[t.fp]; ok {
+		t.dupOf = orig
+	} else {
+		l.seen[t.fp] = t.seq
+		t.budget = l.opt.probed(l.base, phase, subset)
+	}
+	l.tasks = append(l.tasks, t)
+}
+
+// enumerate appends the per-phase candidate subsets (the MaxCandidates
+// highest-ranked points choose up to MaxThreads-1) with all other phases
+// pinned to their static cut — the same walk autotune and Search share.
+func (l *taskList) enumerate(phases []*analysis.Phase, cands, staticEnum [][]*analysis.Candidate, maxCandidates, maxThreads int) {
+	for pi := range phases {
+		top := cands[pi]
+		if len(top) > maxCandidates {
+			top = top[:maxCandidates]
+		}
+		pts := make([]*analysis.Candidate, 0, maxThreads-1)
+		for _, subset := range subsets(len(top), maxThreads-1) {
+			pts = pts[:0]
+			for _, idx := range subset {
+				pts = append(pts, top[idx])
+			}
+			points := make([][]*analysis.Candidate, len(cands))
+			copy(points, staticEnum)
+			points[pi] = analysis.OrderPoints(pts)
+			l.add(pi, subset, points)
+		}
+	}
+}
+
+// staticEnumPoints is the per-phase static cut every enumerated candidate
+// pins its non-tuned phases to, computed once per search.
+func staticEnumPoints(cands [][]*analysis.Candidate, maxThreads int) [][]*analysis.Candidate {
+	out := make([][]*analysis.Candidate, len(cands))
+	for i, cs := range cands {
+		out[i] = staticCut(cs, maxThreads)
+	}
+	return out
+}
+
+// staticFullPoints is the static pipeline's configuration: forced
+// (#pragma decouple) points where present, the static cut elsewhere —
+// exactly what buildStatic selects.
+func staticFullPoints(p *ir.Prog, phases []*analysis.Phase, cands [][]*analysis.Candidate, maxThreads int) [][]*analysis.Candidate {
+	an := analysis.New(p)
+	out := make([][]*analysis.Candidate, len(cands))
+	for i, cs := range cands {
+		if forced := an.ForcedPoints(phases[i]); len(forced) > 0 {
+			out[i] = forced
+			continue
+		}
+		out[i] = staticCut(cs, maxThreads)
+	}
+	return out
+}
+
+// subsetDesc renders a candidate identity for trace lines: the static
+// pipeline has no subset.
+func subsetDesc(t *candTask) string {
+	if t.phase < 0 {
+		return "static"
+	}
+	return fmt.Sprintf("%v", t.subset)
+}

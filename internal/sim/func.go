@@ -46,7 +46,12 @@ type fQueue struct {
 
 func (q *fQueue) len() int { return len(q.buf) - q.head }
 
-func (q *fQueue) push(v Value) { q.buf = append(q.buf, v) }
+func (q *fQueue) push(v Value) {
+	if len(q.buf) == cap(q.buf) {
+		q.buf = growDouble(q.buf)
+	}
+	q.buf = append(q.buf, v)
+}
 
 func (q *fQueue) pop() Value {
 	v := q.buf[q.head]
@@ -65,6 +70,31 @@ type fRA struct {
 	pendStart Value
 	hasStart  bool
 	trace     []RAEvent
+}
+
+// growDouble reallocates s with double its capacity (512 elements minimum).
+// Traces and queue buffers reach millions of entries, and append's ~1.25x
+// growth policy for large slices reallocates-and-copies several times more
+// bytes over a run than doubling does; that regrowth was the autotuner's
+// dominant allocation site.
+func growDouble[E any](s []E) []E {
+	next := make([]E, len(s), max(512, 2*cap(s)))
+	copy(next, s)
+	return next
+}
+
+func (t *fThread) addTrace(entry TEntry) {
+	if len(t.trace) == cap(t.trace) {
+		t.trace = growDouble(t.trace)
+	}
+	t.trace = append(t.trace, entry)
+}
+
+func (ra *fRA) addTrace(ev RAEvent) {
+	if len(ra.trace) == cap(ra.trace) {
+		ra.trace = growDouble(ra.trace)
+	}
+	ra.trace = append(ra.trace, ev)
 }
 
 type funcEngine struct {
@@ -423,12 +453,12 @@ func (e *funcEngine) runThread(t *fThread, max int) (int, error) {
 			entry.Flags |= FlagTaken
 		case isa.OpHalt:
 			t.state = tsHalted
-			t.trace = append(t.trace, entry)
+			t.addTrace(entry)
 			e.total++
 			return ran + 1, nil
 		case isa.OpBarrier:
 			t.state = tsBarrier
-			t.trace = append(t.trace, entry)
+			t.addTrace(entry)
 			e.total++
 			// pc advances when the barrier is released.
 			return ran + 1, nil
@@ -443,7 +473,7 @@ func (e *funcEngine) runThread(t *fThread, max int) (int, error) {
 			return ran, &TrapError{Stage: prog.Name, PC: t.pc,
 				Msg: fmt.Sprintf("unimplemented op %v", in.Op)}
 		}
-		t.trace = append(t.trace, entry)
+		t.addTrace(entry)
 		e.total++
 		t.pc = nextPC
 		ran++
@@ -486,7 +516,7 @@ func (e *funcEngine) propagateRAs() (bool, error) {
 			arr := e.m.Slots[spec.Slot]
 			for inq.len() > 0 {
 				v := inq.pop()
-				ra.trace = append(ra.trace, RAEvent{Kind: RAConsume})
+				ra.addTrace(RAEvent{Kind: RAConsume})
 				anyRound = true
 				if v.Ctrl {
 					if ra.hasStart {
@@ -494,7 +524,7 @@ func (e *funcEngine) propagateRAs() (bool, error) {
 							Msg: "control value between SCAN start/end pair"}
 					}
 					outq.push(v)
-					ra.trace = append(ra.trace, RAEvent{Kind: RAPass})
+					ra.addTrace(RAEvent{Kind: RAPass})
 					continue
 				}
 				switch spec.Mode {
@@ -505,7 +535,7 @@ func (e *funcEngine) propagateRAs() (bool, error) {
 							Msg: fmt.Sprintf("index %d out of bounds for %s (len %d)", idx, arr.Name, arr.Len())}
 					}
 					outq.push(loadValue(arr, idx))
-					ra.trace = append(ra.trace, RAEvent{Kind: RALoad, Addr: arr.Addr(idx)})
+					ra.addTrace(RAEvent{Kind: RALoad, Addr: arr.Addr(idx)})
 				default: // arch.RAScan
 					if !ra.hasStart {
 						ra.pendStart = v
@@ -520,11 +550,11 @@ func (e *funcEngine) propagateRAs() (bool, error) {
 					}
 					for i := start; i < end; i++ {
 						outq.push(loadValue(arr, i))
-						ra.trace = append(ra.trace, RAEvent{Kind: RALoad, Addr: arr.Addr(i)})
+						ra.addTrace(RAEvent{Kind: RALoad, Addr: arr.Addr(i)})
 					}
 					if spec.EmitNext {
 						outq.push(CtrlVal(spec.NextCode))
-						ra.trace = append(ra.trace, RAEvent{Kind: RACtrlOut})
+						ra.addTrace(RAEvent{Kind: RACtrlOut})
 					}
 				}
 			}

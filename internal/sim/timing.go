@@ -88,7 +88,10 @@ func (q *tQueue) push(at uint64) {
 }
 func (q *tQueue) pop() {
 	q.head++
-	if q.head > 4096 && q.head*2 > len(q.ready) {
+	// Occupancy is bounded by cap, so compacting once the dead prefix
+	// exceeds it keeps the buffer at a few times the queue capacity
+	// (amortized O(1) per token) instead of growing toward 8K entries.
+	if q.head > q.cap && q.head*2 > len(q.ready) {
 		q.ready = append(q.ready[:0], q.ready[q.head:]...)
 		q.head = 0
 	}
@@ -1100,7 +1103,9 @@ func (e *timingEngine) tickRASteps(ra *tRA) bool {
 			ra.loads--
 		}
 		moved = true
-		if ra.ifHead > 4096 && ra.ifHead*2 > len(ra.inflight) {
+		// Occupancy is bounded by the outstanding window; compact like
+		// tQueue.pop so the buffer stays near the window size.
+		if ra.ifHead > ra.outstanding && ra.ifHead*2 > len(ra.inflight) {
 			ra.inflight = append(ra.inflight[:0], ra.inflight[ra.ifHead:]...)
 			ra.ifHead = 0
 		}
