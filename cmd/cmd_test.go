@@ -268,6 +268,60 @@ func TestPhloemcAutotune(t *testing.T) {
 	}
 }
 
+// TestPhloemcCost drives the -cost dump mode: the static cost model's
+// report must name the bottleneck, price every stage and RA, and plan queue
+// capacities — and reproduce byte-identically across runs.
+func TestPhloemcCost(t *testing.T) {
+	src := `
+#pragma phloem
+void k(int* restrict a, int* restrict b, int* restrict out, int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    int idx = a[i];
+    int v = b[idx];
+    acc = acc + v;
+  }
+  out[0] = acc;
+}
+`
+	f := filepath.Join(t.TempDir(), "k.c")
+	if err := os.WriteFile(f, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, "phloemc", "-cost", f)
+	for _, want := range []string{"cost k:", "predicted", "bottleneck", "stage", "util", "depth default rec"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-cost output missing %q:\n%s", want, out)
+		}
+	}
+	if out2 := run(t, "phloemc", "-cost", f); out2 != out {
+		t.Errorf("-cost output differs between runs:\n--- first ---\n%s--- second ---\n%s", out, out2)
+	}
+	// A bad kernel still exits 1.
+	bad := filepath.Join(t.TempDir(), "bad.c")
+	os.WriteFile(bad, []byte("void k(int n) { undefined_thing; }"), 0o644)
+	cmd := exec.Command(filepath.Join(binDir, "phloemc"), "-cost", bad)
+	if err := cmd.Run(); err == nil {
+		t.Error("-cost on a bad kernel should exit non-zero")
+	}
+}
+
+// TestPhloemcAutotuneTopK drives -autotune with -topk: the run must report
+// the rank phase's pruning and still print a winning pipeline, and -topk 0
+// must not print a rank line at all.
+func TestPhloemcAutotuneTopK(t *testing.T) {
+	out := run(t, "phloemc", "-autotune", "BFS", "-topk", "5")
+	for _, want := range []string{"pipeline bfs", "static rank: pruned", "outside top-5", "best training run"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-autotune -topk output missing %q:\n%s", want, out)
+		}
+	}
+	full := run(t, "phloemc", "-autotune", "BFS")
+	if strings.Contains(full, "static rank") {
+		t.Errorf("-autotune without -topk should not report a rank phase:\n%s", full)
+	}
+}
+
 func TestTacocEmitsAndPipelines(t *testing.T) {
 	out := run(t, "tacoc", "-pipeline", "spmv")
 	for _, want := range []string{"y(i) = A(i,j) * x(j)", "taco_spmv", "pipeline"} {

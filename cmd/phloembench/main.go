@@ -26,10 +26,12 @@ func main() {
 		"autotune/search worker parallelism (0 = GOMAXPROCS, 1 = serial; results are identical for every value)")
 	searchOut := flag.String("search-out", "BENCH_search.json",
 		"output path for the -exp search report")
+	topK := flag.Int("topk", 0,
+		"with -exp search: K for the static rank-and-prune leg (0 = default 5)")
 	flag.Parse()
 
 	cfg := bench.Config{Scale: workloads.ScaleTest, Out: os.Stdout, Verbose: *verbose,
-		Parallelism: *parallel}
+		Parallelism: *parallel, TopK: *topK}
 	if *scale == "full" {
 		cfg.Scale = workloads.ScaleFull
 	}

@@ -11,13 +11,20 @@
 // array access, and the alias verdict for each parameter pair. Exits 1
 // when the kernel has a may-alias conflict the analysis cannot prove safe.
 //
+// With -cost it compiles the kernel and prints the static cost model's
+// report: per-entity cycle estimates (abstract units), the predicted
+// bottleneck, per-core issue load, and per-queue token traffic with the
+// recommended capacity. This is the same model the autotuner's -topk
+// pruning ranks candidates with.
+//
 // Exit codes: 0 clean (warnings allowed), 1 compile or verifier errors,
 // 2 usage errors.
 //
 // With -autotune <bench> it runs the profile-guided search for one of the
 // built-in workload benchmarks on its training inputs (no kernel argument)
 // and prints the chosen pipeline plus search statistics; -j sets the search
-// worker parallelism (results are identical at every level).
+// worker parallelism (results are identical at every level), and -topk N
+// restricts measurement to the N best candidates by static predicted cost.
 //
 // Usage:
 //
@@ -25,7 +32,8 @@
 //	phloemc -threads 4 -passes Q,R,CV -dump kernel.c
 //	phloemc -lint kernel.c
 //	phloemc -effects kernel.c
-//	phloemc -autotune BFS -j 4
+//	phloemc -cost kernel.c
+//	phloemc -autotune BFS -j 4 -topk 5
 package main
 
 import (
@@ -38,6 +46,7 @@ import (
 	"phloem/internal/arch"
 	"phloem/internal/bench"
 	"phloem/internal/core"
+	"phloem/internal/costmodel"
 	"phloem/internal/effects"
 	"phloem/internal/ir"
 	"phloem/internal/passes"
@@ -65,7 +74,7 @@ func injectRogueCode(pl *pipeline.Pipeline) {
 // runAutotune searches the candidate space of one built-in workload
 // benchmark on its training inputs and prints the winning pipeline plus
 // search statistics.
-func runAutotune(name string, parallelism, threads int) error {
+func runAutotune(name string, parallelism, threads, topK int) error {
 	wl, err := workloads.ByName(workloads.ScaleTest, name)
 	if err != nil {
 		return err
@@ -79,6 +88,7 @@ func runAutotune(name string, parallelism, threads int) error {
 	opt.MaxThreads = threads
 	opt.Training = bench.Trainers(wl)
 	opt.Parallelism = parallelism
+	opt.TopK = topK
 	start := time.Now()
 	res, err := core.Compile(prog, opt)
 	if err != nil {
@@ -88,6 +98,10 @@ func runAutotune(name string, parallelism, threads int) error {
 	fmt.Print(res.Pipeline.Describe())
 	fmt.Printf("\nsearch: enumerated %d candidates, measured %d, deduplicated %d, skipped %d\n",
 		res.Enumerated, res.Searched, res.Deduped, len(res.Skips))
+	if topK > 0 {
+		fmt.Printf("static rank: pruned %d candidates outside top-%d (rank phase took %dms)\n",
+			res.Pruned, topK, res.RankMillis)
+	}
 	fmt.Printf("best training run: %d cycles; search took %s (parallelism %d)\n",
 		res.TrainCycles, elapsed.Round(time.Millisecond), parallelism)
 	return nil
@@ -103,17 +117,21 @@ func main() {
 		"print the frontend memory-effects analysis (points-to, MOD/REF, alias verdicts) and stop")
 	lintInject := flag.Bool("lint-inject", false,
 		"with -lint: inject a control-protocol violation first (demonstration)")
+	costDump := flag.Bool("cost", false,
+		"print the static cost model's report (bottleneck, per-entity estimates, queue capacity plan)")
 	autotuneBench := flag.String("autotune", "",
 		"run the profile-guided search for a built-in benchmark (e.g. BFS) instead of compiling a kernel file")
 	parallel := flag.Int("j", 0,
 		"with -autotune: search worker parallelism (0 = GOMAXPROCS, 1 = serial; results are identical for every value)")
+	topK := flag.Int("topk", 0,
+		"with -autotune: measure only the K best candidates by static predicted cost (0 = measure all)")
 	flag.Parse()
 	if *autotuneBench != "" {
 		if flag.NArg() != 0 {
-			fmt.Fprintln(os.Stderr, "usage: phloemc -autotune <bench> [-j N] (no kernel argument)")
+			fmt.Fprintln(os.Stderr, "usage: phloemc -autotune <bench> [-j N] [-topk K] (no kernel argument)")
 			os.Exit(2)
 		}
-		if err := runAutotune(*autotuneBench, *parallel, *threads); err != nil {
+		if err := runAutotune(*autotuneBench, *parallel, *threads, *topK); err != nil {
 			fmt.Fprintln(os.Stderr, "phloemc:", err)
 			os.Exit(1)
 		}
@@ -209,6 +227,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "phloemc:", err)
 		os.Exit(1)
+	}
+	if *costDump {
+		rep, err := costmodel.Analyze(res.Pipeline, arch.DefaultConfig(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phloemc:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.String())
+		return
 	}
 	fmt.Print(res.Pipeline.Describe())
 	if *dump {

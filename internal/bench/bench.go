@@ -33,8 +33,11 @@ type Config struct {
 	// SkipSearchBaseline drops the pre-engine baseline leg (serial, no
 	// branch-and-bound pruning) from the SearchPerf comparison. The native
 	// test suite sets it to keep the bench package inside the go test
-	// timeout; `phloembench -exp search` measures the full three-way run.
+	// timeout; `phloembench -exp search` measures the full four-way run.
 	SkipSearchBaseline bool
+	// TopK sets the K for SearchPerf's static rank-and-prune leg
+	// (0 = DefaultSearchTopK).
+	TopK int
 }
 
 func (c Config) printf(format string, args ...any) {

@@ -1,15 +1,20 @@
 package bench
 
-// The search-engine benchmark: autotunes every benchmark in the suite three
+// The search-engine benchmark: autotunes every benchmark in the suite four
 // ways — the pre-engine baseline (serial, every candidate measured under the
 // full BudgetFactor budget, the cost profile the search had before the
-// branch-and-bound engine), the engine fully serial, and the engine with the
-// configured worker parallelism. The two engine runs must pick byte-identical
-// results (the determinism contract), and the baseline must agree on the
-// winning pipeline. The report carries wall-clock time per leg, the headline
-// speedup (baseline vs parallel engine: pruning + dedup + parallelism
-// combined), and the engine-only parallel speedup. `phloembench -exp search`
-// writes the report to BENCH_search.json.
+// branch-and-bound engine), the engine fully serial, the engine with the
+// configured worker parallelism, and the engine with Options.TopK static
+// rank-and-prune. The two engine runs must pick byte-identical results (the
+// determinism contract), and the baseline must agree on the winning
+// pipeline; the top-K leg records whether its winner agrees too (pruning by
+// static prediction is allowed to miss, so disagreement is reported, not
+// fatal). The report carries wall-clock time per leg, the headline speedup
+// (baseline vs parallel engine: pruning + dedup + parallelism combined),
+// the engine-only parallel speedup, the top-K leg's rank-phase/measure-phase
+// split, and the per-benchmark Spearman correlation between the static cost
+// model's predicted cycles and the simulator's measured cycles.
+// `phloembench -exp search` writes the report to BENCH_search.json.
 
 import (
 	"encoding/json"
@@ -19,10 +24,15 @@ import (
 	"time"
 
 	"phloem/internal/core"
+	"phloem/internal/costmodel"
 	"phloem/internal/workloads"
 )
 
-// SearchRow is one benchmark's search measurement across the three legs.
+// DefaultSearchTopK is the K the SearchPerf top-K leg uses when Config.TopK
+// is zero — the same K the cross-benchmark winner-agreement test pins.
+const DefaultSearchTopK = 5
+
+// SearchRow is one benchmark's search measurement across the four legs.
 type SearchRow struct {
 	Name string `json:"name"`
 	// Enumerated counts candidate configurations walked (duplicates
@@ -32,7 +42,8 @@ type SearchRow struct {
 	Deduped    int `json:"deduped"`
 	Skipped    int `json:"skipped"`
 	// BestStages/BestCycles identify the winning pipeline (identical
-	// across all three legs by construction).
+	// across the baseline/serial/parallel legs by construction; the top-K
+	// leg's winner is reported separately via TopKCycles/TopKAgrees).
 	BestStages int    `json:"best_stages"`
 	BestCycles uint64 `json:"best_train_cycles"`
 	// BaselineMS is the pre-engine search: serial, no candidate pruning
@@ -47,11 +58,36 @@ type SearchRow struct {
 	ParSpeedup      float64 `json:"parallel_speedup"`
 	SerialCandsSec  float64 `json:"candidates_per_sec_serial"`
 	ParallelCandSec float64 `json:"candidates_per_sec_parallel"`
+	// The top-K leg: serial engine with Options.TopK rank-and-prune.
+	// TopKRankMS is the static rank phase alone (build + cost model);
+	// TopKMS - TopKRankMS is the measurement phase.
+	TopKMS       float64 `json:"topk_ms"`
+	TopKRankMS   float64 `json:"topk_rank_ms"`
+	TopKPruned   int     `json:"topk_pruned"`
+	TopKMeasured int     `json:"topk_measured"`
+	// TopKAgrees reports whether the top-K leg selected the same winner
+	// (description and training cycles) as the unpruned engine.
+	TopKAgrees bool `json:"topk_agrees"`
+	// TopKCycles is the top-K leg winner's training cycle count (equals
+	// BestCycles when TopKAgrees).
+	TopKCycles uint64 `json:"topk_train_cycles"`
+	// TopKSpeedup is serial/topk: the static-pruning contribution alone.
+	TopKSpeedup float64 `json:"topk_speedup"`
+	// RankCorrelation is the Spearman rank correlation between the cost
+	// model's predicted cycles and the simulator's measured training cycles
+	// over this benchmark's measured (non-skipped) candidates, taken from
+	// the exhaustive baseline leg when it ran (every candidate measured to
+	// completion) and the serial engine leg otherwise. RankPoints is the
+	// number of candidates behind the number; 0 or 1 point yields 0.
+	RankCorrelation float64 `json:"rank_correlation"`
+	RankPoints      int     `json:"rank_points"`
 }
 
 // SearchReport is the BENCH_search.json schema.
 type SearchReport struct {
-	Parallelism int         `json:"parallelism"`
+	Parallelism int `json:"parallelism"`
+	// TopK is the K the top-K leg pruned to.
+	TopK        int         `json:"topk"`
 	GOMAXPROCS  int         `json:"gomaxprocs"`
 	NumCPU      int         `json:"numcpu"`
 	Scale       string      `json:"scale"`
@@ -59,10 +95,16 @@ type SearchReport struct {
 	TotalBaseMS float64     `json:"total_baseline_ms"`
 	TotalSerMS  float64     `json:"total_serial_ms"`
 	TotalParMS  float64     `json:"total_parallel_ms"`
+	TotalTopKMS float64     `json:"total_topk_ms"`
 	// Speedup is total baseline/parallel (serial/parallel when the baseline
-	// leg is skipped); ParSpeedup is total serial/parallel.
-	Speedup    float64 `json:"speedup"`
-	ParSpeedup float64 `json:"parallel_speedup"`
+	// leg is skipped); ParSpeedup is total serial/parallel; TopKSpeedup is
+	// total serial/topk.
+	Speedup     float64 `json:"speedup"`
+	ParSpeedup  float64 `json:"parallel_speedup"`
+	TopKSpeedup float64 `json:"topk_speedup"`
+	// MeanRankCorrelation averages RankCorrelation over benchmarks with 2+
+	// measured points.
+	MeanRankCorrelation float64 `json:"mean_rank_correlation"`
 }
 
 // searchSignature summarizes everything observable about an autotune result;
@@ -74,35 +116,60 @@ func searchSignature(res *core.Result) string {
 	for _, s := range res.Skips {
 		sig += fmt.Sprintf("|skip phase=%d subset=%v reason=%s err=%v", s.Phase, s.Subset, s.Reason, s.Err)
 	}
+	for _, p := range res.Points {
+		sig += fmt.Sprintf("|pt subset=%v stages=%d cycles=%d pred=%d rank=%d skipped=%v",
+			p.Subset, p.TotalStages, p.Cycles, p.PredictedCycles, p.PredictedRank, p.Skip != nil)
+	}
 	return sig
 }
 
-// SearchPerf runs the baseline-vs-serial-vs-parallel autotune comparison over
-// the whole suite and returns the report. Parallelism comes from cfg
-// (0 = GOMAXPROCS); cfg.SkipSearchBaseline drops the (slow) baseline leg.
+// rankCorrelation computes the Spearman correlation between predicted and
+// measured cycles over a result's measured (non-skipped, priced) candidates.
+func rankCorrelation(res *core.Result) (corr float64, n int) {
+	var pred, meas []float64
+	for _, pt := range res.Points {
+		if pt.Skip == nil && pt.PredictedCycles > 0 {
+			pred = append(pred, float64(pt.PredictedCycles))
+			meas = append(meas, float64(pt.Cycles))
+		}
+	}
+	return costmodel.SpearmanRank(pred, meas), len(pred)
+}
+
+// SearchPerf runs the baseline-vs-serial-vs-parallel-vs-topK autotune
+// comparison over the whole suite and returns the report. Parallelism and
+// TopK come from cfg (0 = GOMAXPROCS / DefaultSearchTopK);
+// cfg.SkipSearchBaseline drops the (slow) baseline leg.
 func SearchPerf(cfg Config) (*SearchReport, error) {
 	par := cfg.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
+	topK := cfg.TopK
+	if topK <= 0 {
+		topK = DefaultSearchTopK
+	}
 	scale := "test"
 	if cfg.Scale == workloads.ScaleFull {
 		scale = "full"
 	}
-	rep := &SearchReport{Parallelism: par, GOMAXPROCS: runtime.GOMAXPROCS(0),
+	rep := &SearchReport{Parallelism: par, TopK: topK, GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU: runtime.NumCPU(), Scale: scale}
-	cfg.printf("\nSearch engine: baseline (no pruning) vs serial vs parallel autotune (parallelism %d)\n", par)
-	cfg.printf("%-8s %6s %6s %6s %6s %11s %10s %10s %8s %8s\n",
-		"bench", "enum", "meas", "dedup", "skip", "baseline ms", "serial ms", "par ms", "speedup", "par-only")
+	cfg.printf("\nSearch engine: baseline (no pruning) vs serial vs parallel vs top-%d autotune (parallelism %d)\n",
+		topK, par)
+	cfg.printf("%-8s %6s %6s %6s %6s %11s %10s %10s %10s %8s %8s %6s %6s\n",
+		"bench", "enum", "meas", "dedup", "skip", "baseline ms", "serial ms", "par ms", "topk ms",
+		"speedup", "par-only", "agree", "rho")
 	for _, bench := range workloads.Benchmarks(cfg.Scale) {
 		prog, err := workloads.CompileSerial(bench.SerialSource)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", bench.Name, err)
 		}
-		run := func(parallelism int, exhaustive bool) (*core.Result, float64, error) {
+		run := func(parallelism int, exhaustive bool, topk int) (*core.Result, float64, error) {
 			opt := autotuneOptions(cfg, bench)
 			opt.Parallelism = parallelism
 			opt.Exhaustive = exhaustive
+			opt.TopK = topk
 			start := time.Now()
 			res, err := core.Compile(prog, opt)
 			if err != nil {
@@ -113,15 +180,19 @@ func SearchPerf(cfg Config) (*SearchReport, error) {
 		var baseMS float64
 		var baseRes *core.Result
 		if !cfg.SkipSearchBaseline {
-			if baseRes, baseMS, err = run(1, true); err != nil {
+			if baseRes, baseMS, err = run(1, true, 0); err != nil {
 				return nil, err
 			}
 		}
-		serRes, serMS, err := run(1, false)
+		serRes, serMS, err := run(1, false, 0)
 		if err != nil {
 			return nil, err
 		}
-		parRes, parMS, err := run(par, false)
+		parRes, parMS, err := run(par, false, 0)
+		if err != nil {
+			return nil, err
+		}
+		topRes, topMS, err := run(1, false, topK)
 		if err != nil {
 			return nil, err
 		}
@@ -154,26 +225,71 @@ func SearchPerf(cfg Config) (*SearchReport, error) {
 			ParSpeedup:      serMS / parMS,
 			SerialCandsSec:  float64(serRes.Enumerated) / (serMS / 1e3),
 			ParallelCandSec: float64(serRes.Enumerated) / (parMS / 1e3),
+			TopKMS:          topMS,
+			TopKRankMS:      float64(topRes.RankMillis),
+			TopKPruned:      topRes.Pruned,
+			TopKMeasured:    topRes.Searched - 1, // exclude the serial baseline
+			TopKCycles:      topRes.TrainCycles,
+			TopKSpeedup:     serMS / topMS,
+			TopKAgrees: topRes.Pipeline.Description == serRes.Pipeline.Description &&
+				topRes.TrainCycles == serRes.TrainCycles,
 		}
 		if baseMS > 0 {
 			row.Speedup = baseMS / parMS
 		}
+		// The exhaustive baseline measures every candidate to completion, so
+		// its points give the model the fairest grading; the engine's
+		// branch-and-bound leg aborts losers early and grades on fewer.
+		corrRes := serRes
+		if baseRes != nil {
+			corrRes = baseRes
+		}
+		row.RankCorrelation, row.RankPoints = rankCorrelation(corrRes)
 		rep.Benchmarks = append(rep.Benchmarks, row)
 		rep.TotalBaseMS += baseMS
 		rep.TotalSerMS += serMS
 		rep.TotalParMS += parMS
-		cfg.printf("%-8s %6d %6d %6d %6d %11.1f %10.1f %10.1f %7.2fx %7.2fx\n",
+		rep.TotalTopKMS += topMS
+		agree := "yes"
+		if !row.TopKAgrees {
+			agree = "NO"
+		}
+		cfg.printf("%-8s %6d %6d %6d %6d %11.1f %10.1f %10.1f %10.1f %7.2fx %7.2fx %6s %+5.2f\n",
 			row.Name, row.Enumerated, row.Searched, row.Deduped, row.Skipped,
-			row.BaselineMS, row.SerialMS, row.ParallelMS, row.Speedup, row.ParSpeedup)
+			row.BaselineMS, row.SerialMS, row.ParallelMS, row.TopKMS,
+			row.Speedup, row.ParSpeedup, agree, row.RankCorrelation)
 	}
 	rep.ParSpeedup = rep.TotalSerMS / rep.TotalParMS
+	rep.TopKSpeedup = rep.TotalSerMS / rep.TotalTopKMS
 	rep.Speedup = rep.ParSpeedup
 	if rep.TotalBaseMS > 0 {
 		rep.Speedup = rep.TotalBaseMS / rep.TotalParMS
 	}
-	cfg.printf("%-8s %43.1f %10.1f %10.1f %7.2fx %7.2fx\n",
-		"total", rep.TotalBaseMS, rep.TotalSerMS, rep.TotalParMS, rep.Speedup, rep.ParSpeedup)
+	nCorr := 0
+	for _, row := range rep.Benchmarks {
+		if row.RankPoints >= 2 {
+			rep.MeanRankCorrelation += row.RankCorrelation
+			nCorr++
+		}
+	}
+	if nCorr > 0 {
+		rep.MeanRankCorrelation /= float64(nCorr)
+	}
+	cfg.printf("%-8s %43.1f %10.1f %10.1f %10.1f %7.2fx %7.2fx %6s %+5.2f\n",
+		"total", rep.TotalBaseMS, rep.TotalSerMS, rep.TotalParMS, rep.TotalTopKMS,
+		rep.Speedup, rep.ParSpeedup, "", rep.MeanRankCorrelation)
+	cfg.printf("top-%d: %.2fx over serial engine (rank phase %.0f ms total); mean rank correlation %+.2f\n",
+		topK, rep.TopKSpeedup, totalRankMS(rep), rep.MeanRankCorrelation)
 	return rep, nil
+}
+
+// totalRankMS sums the top-K leg's static rank-phase time across the suite.
+func totalRankMS(rep *SearchReport) float64 {
+	var total float64
+	for _, row := range rep.Benchmarks {
+		total += row.TopKRankMS
+	}
+	return total
 }
 
 // SearchPerfJSON runs SearchPerf and writes the report to path.

@@ -1,0 +1,183 @@
+package bench
+
+// Cross-benchmark validation of the static cost model (internal/costmodel)
+// and the Options.TopK rank-and-prune path: for every benchmark family the
+// top-5 search must select the same winning pipeline as the unpruned
+// search, while simulating at most half of the suite's unique candidates in
+// aggregate, and the model's predicted cycles must correlate positively
+// with simulator-measured cycles across the suite.
+
+import (
+	"fmt"
+	"testing"
+
+	"phloem/internal/core"
+	"phloem/internal/costmodel"
+	"phloem/internal/workloads"
+)
+
+// autotuneWith runs one benchmark's autotune with a single training input.
+func autotuneWith(t *testing.T, bench *workloads.Benchmark, topk int) *core.Result {
+	t.Helper()
+	prog, err := workloads.CompileSerial(bench.SerialSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := autotuneOptions(testConfig(), bench)
+	opt.Training = opt.Training[:1]
+	opt.Parallelism = 1
+	opt.TopK = topk
+	res, err := core.Compile(prog, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTopKSelectsSameWinnerAllBenchmarks(t *testing.T) {
+	const topk = 5
+	totalUnique, totalMeasured := 0, 0
+	for _, bench := range workloads.Benchmarks(workloads.ScaleTest) {
+		bench := bench
+		t.Run(bench.Name, func(t *testing.T) {
+			full := autotuneWith(t, bench, 0)
+			top := autotuneWith(t, bench, topk)
+			if got, want := top.Pipeline.Description, full.Pipeline.Description; got != want {
+				t.Errorf("top-%d selected %q (%d cycles), unpruned search selected %q (%d cycles)",
+					topk, got, top.TrainCycles, want, full.TrainCycles)
+			}
+			if top.TrainCycles != full.TrainCycles {
+				t.Errorf("top-%d winner trains at %d cycles, unpruned winner at %d",
+					topk, top.TrainCycles, full.TrainCycles)
+			}
+			unique := top.Enumerated - top.Deduped
+			measured := top.Searched - 1 // exclude the serial baseline
+			totalUnique += unique
+			totalMeasured += measured
+			t.Logf("unique=%d measured=%d pruned=%d winner=%q",
+				unique, measured, top.Pruned, top.Pipeline.Description)
+		})
+	}
+	if totalMeasured*2 > totalUnique {
+		t.Errorf("top-%d simulated %d of %d unique candidates across the suite; want at most half",
+			topk, totalMeasured, totalUnique)
+	}
+}
+
+// measuredSignature renders everything about an autotune result except the
+// predicted rank: a TopK >= #unique run still executes the rank phase (which
+// stamps PredictedRank on every point), while a TopK=0 run prices candidates
+// lazily and leaves ranks 0 — but both must measure identically.
+func measuredSignature(res *core.Result) string {
+	sig := fmt.Sprintf("best=%q cycles=%d searched=%d deduped=%d enum=%d pruned=%d",
+		res.Pipeline.Description, res.TrainCycles, res.Searched, res.Deduped,
+		res.Enumerated, res.Pruned)
+	for _, s := range res.Skips {
+		sig += fmt.Sprintf("|skip phase=%d subset=%v reason=%s err=%v", s.Phase, s.Subset, s.Reason, s.Err)
+	}
+	for _, pt := range res.Points {
+		sig += fmt.Sprintf("|pt subset=%v stages=%d cycles=%d pred=%d skipped=%v",
+			pt.Subset, pt.TotalStages, pt.Cycles, pt.PredictedCycles, pt.Skip != nil)
+	}
+	return sig
+}
+
+// TestTopKCoveringAllCandidatesMatchesExhaustive pins the escape hatch: a K
+// at least as large as the unique candidate count must prune nothing and
+// reproduce the unpruned search bit for bit (winner, cycles, skips, and
+// per-candidate measurements).
+func TestTopKCoveringAllCandidatesMatchesExhaustive(t *testing.T) {
+	for _, name := range []string{"BFS", "PRD"} {
+		bench, err := workloads.ByName(workloads.ScaleTest, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := autotuneWith(t, bench, 0)
+		unique := full.Enumerated - full.Deduped
+		wide := autotuneWith(t, bench, unique)
+		if wide.Pruned != 0 {
+			t.Errorf("%s: top-%d (covering all %d unique candidates) pruned %d",
+				name, unique, unique, wide.Pruned)
+		}
+		if got, want := measuredSignature(wide), measuredSignature(full); got != want {
+			t.Errorf("%s: top-%d diverged from exhaustive:\nexhaustive: %s\ntop-K:      %s",
+				name, unique, want, got)
+		}
+	}
+}
+
+// TestTopKDeterministicAcrossParallelism pins that rank-and-prune decisions
+// (made serially before the worker pool) keep the search deterministic at
+// every parallelism level, including with aggressive pruning in effect.
+func TestTopKDeterministicAcrossParallelism(t *testing.T) {
+	const topk = 2
+	for _, name := range []string{"BFS", "PRD"} {
+		bench, err := workloads.ByName(workloads.ScaleTest, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := workloads.CompileSerial(bench.SerialSource)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(par int) string {
+			opt := autotuneOptions(testConfig(), bench)
+			opt.Training = opt.Training[:1]
+			opt.Parallelism = par
+			opt.TopK = topk
+			res, err := core.Compile(prog, opt)
+			if err != nil {
+				t.Fatalf("%s (parallelism %d): %v", name, par, err)
+			}
+			return searchSignature(res)
+		}
+		want := run(1)
+		for _, par := range []int{4, 0} {
+			if got := run(par); got != want {
+				t.Errorf("%s: parallelism %d diverged:\nserial:   %s\nparallel: %s",
+					name, par, want, got)
+			}
+		}
+	}
+}
+
+// TestPredictionRankCorrelation measures how well the static predictions
+// order the candidates the simulator actually measured. Individual families
+// have as few as 2-3 measured (non-budget-aborted) points, so the assertion
+// is aggregate: the suite-wide mean Spearman correlation must be positive.
+func TestPredictionRankCorrelation(t *testing.T) {
+	var sum float64
+	n := 0
+	for _, bench := range workloads.Benchmarks(workloads.ScaleTest) {
+		prog, err := workloads.CompileSerial(bench.SerialSource)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := autotuneOptions(testConfig(), bench)
+		opt.Training = opt.Training[:1]
+		opt.Parallelism = 1
+		points, err := core.Search(prog, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pred, meas []float64
+		for _, pt := range points {
+			if pt.Skip == nil && pt.PredictedCycles > 0 {
+				pred = append(pred, float64(pt.PredictedCycles))
+				meas = append(meas, float64(pt.Cycles))
+			}
+		}
+		corr := costmodel.SpearmanRank(pred, meas)
+		t.Logf("%s: %d measured points, spearman %.2f", bench.Name, len(pred), corr)
+		if len(pred) >= 2 {
+			sum += corr
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no benchmark yielded 2+ measured points")
+	}
+	if mean := sum / float64(n); mean <= 0 {
+		t.Errorf("mean Spearman correlation %.2f across %d benchmarks; want > 0", mean, n)
+	}
+}

@@ -92,6 +92,9 @@ const (
 	SkipPanic
 	// SkipError: any other measurement failure (e.g. a verify mismatch).
 	SkipError
+	// SkipPruned: the Options.TopK rank phase statically predicted the
+	// candidate cannot win and excluded it from simulation.
+	SkipPruned
 )
 
 func (r SkipReason) String() string {
@@ -108,6 +111,8 @@ func (r SkipReason) String() string {
 		return "trap"
 	case SkipPanic:
 		return "panic"
+	case SkipPruned:
+		return "pruned"
 	default:
 		return "error"
 	}

@@ -67,6 +67,14 @@ type Options struct {
 	// true cycle counts for slow candidates; the default search aborts them
 	// with SkipBudget instead.
 	Exhaustive bool
+	// TopK, when > 0, statically ranks every unique candidate with the
+	// internal/costmodel throughput predictor before any simulation and
+	// measures only the TopK best-predicted configurations; the rest are
+	// recorded as SkipPruned with their predicted rank and cycles. The
+	// static pipeline is always retained as a fallback. 0 measures every
+	// candidate; Exhaustive overrides TopK (the escape hatch really does
+	// measure everything).
+	TopK int
 	// Trace receives search progress lines (optional).
 	Trace func(format string, args ...any)
 	// SkipVerify disables the static pipeline verifier that otherwise
@@ -129,6 +137,14 @@ type Result struct {
 	// walked (the static pipeline plus every per-phase subset, duplicates
 	// included; the serial baseline is not a candidate).
 	Enumerated int
+	// Pruned counts unique candidates the Options.TopK rank phase excluded
+	// from simulation (autotune mode only).
+	Pruned int
+	// RankMillis is the wall-clock time the TopK rank phase spent building
+	// and statically pricing candidates, in milliseconds. Timing, not a
+	// search result: it varies run to run and is excluded from determinism
+	// comparisons.
+	RankMillis int64
 	// TrainCycles is the selected pipeline's summed training cycle count
 	// (autotune mode only).
 	TrainCycles uint64
@@ -139,6 +155,12 @@ type Result struct {
 	// Skips records every candidate the autotuner dropped and why
 	// (autotune mode only).
 	Skips []CandidateSkip
+	// Points records every unique candidate's outcome in enumeration order
+	// (autotune mode only): measured training cycles or the skip, next to
+	// the static cost model's prediction — so prediction error is auditable
+	// from any autotune run without a separate Search pass. Deduplicated
+	// occurrences are not repeated.
+	Points []SearchPoint
 	// AliasStats counts the effects analysis's parameter-pair verdicts
 	// (CompileSource only; zero for hand-built programs).
 	AliasStats effects.Stats
@@ -327,11 +349,25 @@ func autotune(p *ir.Prog, phases []*analysis.Phase, cands [][]*analysis.Candidat
 	tasks.add(-1, nil, staticFullPoints(p, phases, cands, opt.MaxThreads))
 	tasks.enumerate(phases, cands, staticEnumPoints(cands, opt.MaxThreads),
 		opt.MaxCandidates, opt.MaxThreads)
+	pruned, rankMS := rankAndPrune(p, opt, tasks.tasks)
+	if pruned > 0 {
+		trace("autotune: rank phase pruned %d of %d unique candidates (top-%d survive)",
+			pruned, len(tasks.seen), opt.TopK)
+	}
 
 	res := &Result{Pipeline: serial, Prog: p, Searched: 1, TrainCycles: serialCycles,
-		ReplicateRequested: p.Replicate, Enumerated: len(tasks.tasks)}
+		ReplicateRequested: p.Replicate, Enumerated: len(tasks.tasks),
+		Pruned: pruned, RankMillis: rankMS}
 	s := newSearcher(p, opt, budget, serialCycles)
 	s.run(tasks.tasks, func(t *candTask, f *candFinal) {
+		if !f.dup {
+			pt := SearchPoint{TotalStages: f.stages, Cycles: f.cycles,
+				Subset: t.subset, Skip: f.skip, PredictedRank: t.predRank}
+			if t.predOK {
+				pt.PredictedCycles = t.predCycles
+			}
+			res.Points = append(res.Points, pt)
+		}
 		switch {
 		case f.dup:
 			res.Deduped++
@@ -341,8 +377,10 @@ func autotune(p *ir.Prog, phases []*analysis.Phase, cands [][]*analysis.Candidat
 			trace("autotune: pipeline %s deduplicated (same configuration as an earlier candidate)",
 				subsetDesc(t))
 		case f.skip != nil:
-			if f.pipe != nil {
+			if f.pipe != nil && f.skip.Reason != SkipPruned {
 				// Built cleanly and entered measurement before failing.
+				// (Pruned candidates were built by the rank phase but
+				// never measured.)
 				res.Searched++
 			}
 			res.Skips = append(res.Skips, *f.skip)
@@ -388,6 +426,15 @@ type SearchPoint struct {
 	// Skip is non-nil when the candidate was dropped instead of measured
 	// (Cycles is then meaningless). Plot consumers filter on Skip == nil.
 	Skip *CandidateSkip
+	// PredictedCycles is the static cost model's estimate for this
+	// configuration (abstract units, not simulator cycles; 0 when the
+	// candidate failed to build). Recorded next to the measured cycles so
+	// prediction error is auditable.
+	PredictedCycles uint64
+	// PredictedRank is this configuration's 1-based position when unique
+	// configurations are ordered by PredictedCycles (duplicates share the
+	// original's rank; 0 when the candidate failed to build).
+	PredictedRank int
 }
 
 // Search enumerates and measures all candidate pipelines of a single-phase
@@ -427,6 +474,7 @@ func Search(p *ir.Prog, opt Options) (out []SearchPoint, err error) {
 	tasks := newTaskList(opt, budget)
 	tasks.enumerate(phases, cands, staticEnumPoints(cands, opt.MaxThreads),
 		opt.MaxCandidates, opt.MaxThreads)
+	rankAndPrune(p, opt, tasks.tasks)
 
 	// The serial pipeline is not a search point, so branch-and-bound starts
 	// with no incumbent: the first measured candidate sets the bound.
@@ -442,6 +490,29 @@ func Search(p *ir.Prog, opt Options) (out []SearchPoint, err error) {
 		}
 		out = append(out, pt)
 	})
+
+	// Stamp static predictions: without TopK the workers priced each unique
+	// candidate as they built it, so ranks are assigned here; duplicates
+	// inherit their original's prediction. Emission order matches task
+	// order, so out[i] corresponds to tasks.tasks[i].
+	var unique []*candTask
+	for _, t := range tasks.tasks {
+		if t.dupOf < 0 {
+			unique = append(unique, t)
+		}
+	}
+	assignRanks(unique)
+	for i, t := range tasks.tasks {
+		root := t
+		if t.dupOf >= 0 {
+			root = tasks.tasks[t.dupOf]
+		}
+		if root.predOK {
+			out[i].PredictedCycles = root.predCycles
+			out[i].PredictedRank = root.predRank
+		}
+	}
+
 	sort.SliceStable(out, func(i, j int) bool { return out[i].TotalStages < out[j].TotalStages })
 	return out, nil
 }

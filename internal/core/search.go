@@ -43,10 +43,13 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"phloem/internal/analysis"
+	"phloem/internal/costmodel"
 	"phloem/internal/ir"
 	"phloem/internal/pipeline"
 	"phloem/internal/sim"
@@ -74,6 +77,15 @@ type candTask struct {
 	fp     string
 	budget Budget // base measurement budget, with any CandidateProbe attached
 	dupOf  int    // seq of the first task with the same fingerprint (-1: unique)
+
+	// Static-prediction state (filled by rankAndPrune for Options.TopK, or
+	// lazily by runTask so SearchPoint predictions are always auditable).
+	pipe       *pipeline.Pipeline // prebuilt by the rank phase (reused by runTask)
+	buildSkip  *CandidateSkip     // rank-phase build/verify failure
+	predCycles uint64             // costmodel estimate (meaningless when !predOK)
+	predOK     bool
+	predRank   int  // 1-based rank among unique tasks by prediction (0: unranked)
+	pruned     bool // excluded from simulation by the TopK rank phase
 }
 
 // candOutcome is a worker's raw result for one unique task.
@@ -169,12 +181,24 @@ func (s *searcher) exactBound() uint64 {
 // first read — the loosest value any part of the measurement ran under.
 func (s *searcher) runTask(t *candTask) *candOutcome {
 	o := &candOutcome{seq: t.seq}
-	pipe, skip := buildCandidate(cloneProg(s.p), t.phase, t.subset, t.points, s.opt)
+	pipe, skip := t.pipe, t.buildSkip
+	if pipe == nil && skip == nil {
+		pipe, skip = buildCandidate(cloneProg(s.p), t.phase, t.subset, t.points, s.opt)
+	}
 	if skip != nil {
 		o.skip = skip
 		return o
 	}
 	o.pipe = pipe
+	if !t.predOK {
+		// No rank phase ran for this task: price it here so prediction
+		// error stays auditable next to the measured cycles. Writing the
+		// task is race-free — exactly one worker owns an unranked task, and
+		// the channel send below orders the write before the merger reads.
+		if rep, err := costmodel.Analyze(pipe, s.opt.Machine); err == nil {
+			t.predCycles, t.predOK = rep.Predicted, true
+		}
+	}
 	o.bound = s.bound.Load()
 	first := true
 	o.cycles, o.merr = tryMeasure(pipe, s.opt, t.budget, func() uint64 {
@@ -274,53 +298,94 @@ func dupFinal(t *candTask, orig *candFinal) *candFinal {
 	return &f
 }
 
+// prunedFinal records a candidate the rank phase excluded from simulation:
+// the prebuilt pipeline and static prediction survive for auditing, but no
+// simulator ever ran.
+func (s *searcher) prunedFinal(t *candTask) *candFinal {
+	return &candFinal{
+		pipe:   t.pipe,
+		stages: t.pipe.TotalStages(),
+		skip: &CandidateSkip{Phase: t.phase, Subset: t.subset, Reason: SkipPruned,
+			Err: fmt.Errorf("statically pruned: predicted rank %d (%d predicted cycles) outside top-%d",
+				t.predRank, t.predCycles, s.opt.TopK)},
+	}
+}
+
 // run measures every task and calls emit exactly once per task, strictly in
-// enumeration order. With parallelism 1 (or a single unique task) everything
-// happens inline on the calling goroutine — the serial path.
+// enumeration order. With parallelism 1 (or a single runnable task)
+// everything happens inline on the calling goroutine — the serial path.
+// Duplicates and statically pruned candidates resolve without a worker.
 func (s *searcher) run(tasks []*candTask, emit func(*candTask, *candFinal)) {
-	unique := 0
+	runnable := 0
 	for _, t := range tasks {
-		if t.dupOf < 0 {
-			unique++
+		if t.dupOf < 0 && !t.pruned {
+			runnable++
 		}
 	}
 	nw := s.opt.parallelism()
-	if nw > unique {
-		nw = unique
+	if nw > runnable {
+		nw = runnable
 	}
-	memo := make(map[int]*candFinal, unique)
+	memo := make(map[int]*candFinal, len(tasks))
+
+	// local resolves tasks that never reach a worker; nil means the task
+	// must build and measure.
+	local := func(t *candTask) *candFinal {
+		if t.dupOf >= 0 {
+			// The original has a lower seq and was finalized earlier.
+			return dupFinal(t, memo[t.dupOf])
+		}
+		if t.pruned {
+			return s.prunedFinal(t)
+		}
+		return nil
+	}
 
 	if nw <= 1 {
 		for _, t := range tasks {
-			if t.dupOf >= 0 {
-				emit(t, dupFinal(t, memo[t.dupOf]))
-				continue
+			f := local(t)
+			if f == nil {
+				f = s.finalize(t, s.runTask(t))
 			}
-			f := s.finalize(t, s.runTask(t))
-			s.merge(memo, t, f)
+			if !f.dup {
+				s.merge(memo, t, f)
+			}
 			emit(t, f)
 		}
 		return
 	}
 
-	// Head start: measure the first task inline before the pool spins up. It
-	// is never a duplicate and the merger finalizes it first anyway, so this
-	// changes nothing observable — but its finalized cycles tighten the
-	// shared bound (in autotune it is the static pipeline, usually close to
-	// the eventual best) before any worker reads it, so the pool never burns
-	// the loose initial budget on candidates the serial order prunes cheaply.
-	head := tasks[0]
-	f := s.finalize(head, s.runTask(head))
-	s.merge(memo, head, f)
-	emit(head, f)
-	rest := tasks[1:]
-	if nw > unique-1 {
-		nw = unique - 1
+	// Head start: measure the first runnable task inline before the pool
+	// spins up. The merger finalizes it first anyway, so this changes
+	// nothing observable — but its finalized cycles tighten the shared
+	// bound (in autotune it is the static pipeline, usually close to the
+	// eventual best) before any worker reads it, so the pool never burns
+	// the loose initial budget on candidates the serial order prunes
+	// cheaply.
+	i := 0
+	for ; i < len(tasks); i++ {
+		t := tasks[i]
+		f := local(t)
+		if f == nil {
+			f = s.finalize(t, s.runTask(t))
+			s.merge(memo, t, f)
+			emit(t, f)
+			i++
+			break
+		}
+		if !f.dup {
+			s.merge(memo, t, f)
+		}
+		emit(t, f)
+	}
+	rest := tasks[i:]
+	if nw > runnable-1 {
+		nw = runnable - 1
 	}
 
-	work := make(chan *candTask, unique)
-	outs := make(chan *candOutcome, unique)
-	for i := 0; i < nw; i++ {
+	work := make(chan *candTask, len(rest))
+	outs := make(chan *candOutcome, len(rest))
+	for w := 0; w < nw; w++ {
 		go func() {
 			for t := range work {
 				outs <- s.runTask(t)
@@ -328,7 +393,7 @@ func (s *searcher) run(tasks []*candTask, emit func(*candTask, *candFinal)) {
 		}()
 	}
 	for _, t := range rest {
-		if t.dupOf < 0 {
+		if t.dupOf < 0 && !t.pruned {
 			work <- t
 		}
 	}
@@ -336,9 +401,11 @@ func (s *searcher) run(tasks []*candTask, emit func(*candTask, *candFinal)) {
 
 	pending := make(map[int]*candOutcome)
 	for _, t := range rest {
-		if t.dupOf >= 0 {
-			// The original has a lower seq and was finalized earlier.
-			emit(t, dupFinal(t, memo[t.dupOf]))
+		if f := local(t); f != nil {
+			if !f.dup {
+				s.merge(memo, t, f)
+			}
+			emit(t, f)
 			continue
 		}
 		o := pending[t.seq]
@@ -355,6 +422,82 @@ func (s *searcher) run(tasks []*candTask, emit func(*candTask, *candFinal)) {
 		s.merge(memo, t, f)
 		emit(t, f)
 	}
+}
+
+// assignRanks orders the unique tasks by static prediction (buildable
+// before unbuildable, then predicted cycles, then enumeration order) and
+// stamps each with its 1-based predicted rank. Returns the ordering.
+func assignRanks(unique []*candTask) []*candTask {
+	order := append([]*candTask(nil), unique...)
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.predOK != b.predOK {
+			return a.predOK
+		}
+		if a.predCycles != b.predCycles {
+			return a.predCycles < b.predCycles
+		}
+		return a.seq < b.seq
+	})
+	for i, t := range order {
+		t.predRank = i + 1
+	}
+	return order
+}
+
+// rankAndPrune statically builds and prices every unique candidate with the
+// cost model and, when Options.TopK is in effect, marks all but the TopK
+// best-predicted as pruned. The first task (autotune's static pipeline, the
+// search engine's head start) is always retained, displacing the worst
+// retained candidate if necessary. Build/verify failures rank after every
+// buildable candidate and are never marked pruned: their structured skip is
+// more informative than a prune record, and they cost no simulation.
+//
+// Runs on one goroutine before the worker pool, so prune decisions — and
+// therefore search results — are identical for every Options.Parallelism.
+// The prebuilt pipelines are kept on the tasks and reused by runTask.
+func rankAndPrune(p *ir.Prog, opt Options, tasks []*candTask) (pruned int, millis int64) {
+	if opt.TopK <= 0 || opt.Exhaustive || len(tasks) == 0 {
+		return 0, 0
+	}
+	start := time.Now()
+	var unique []*candTask
+	for _, t := range tasks {
+		if t.dupOf < 0 {
+			unique = append(unique, t)
+		}
+	}
+	for _, t := range unique {
+		t.pipe, t.buildSkip = buildCandidate(cloneProg(p), t.phase, t.subset, t.points, opt)
+		if t.buildSkip != nil {
+			continue
+		}
+		if rep, err := costmodel.Analyze(t.pipe, opt.Machine); err == nil {
+			t.predCycles, t.predOK = rep.Predicted, true
+		}
+	}
+	order := assignRanks(unique)
+	if opt.TopK >= len(unique) {
+		return 0, time.Since(start).Milliseconds()
+	}
+	for _, t := range order[opt.TopK:] {
+		if t.buildSkip == nil {
+			t.pruned = true
+			pruned++
+		}
+	}
+	if head := tasks[0]; head.pruned {
+		head.pruned = false
+		pruned--
+		for i := opt.TopK - 1; i >= 0; i-- {
+			if t := order[i]; t.buildSkip == nil {
+				t.pruned = true
+				pruned++
+				break
+			}
+		}
+	}
+	return pruned, time.Since(start).Milliseconds()
 }
 
 // taskList accumulates candidate tasks, assigning sequence numbers,

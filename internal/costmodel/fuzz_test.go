@@ -1,0 +1,96 @@
+package costmodel_test
+
+// FuzzCost feeds arbitrary byte strings through the full compile flow and,
+// whenever a pipeline builds, through the cost model. The invariants under
+// fuzzing: Analyze never panics, and any report it returns is well-formed —
+// finite positive prediction, a named bottleneck, utilizations in [0, 1],
+// queue recommendations at least 1, and a byte-deterministic rendering.
+// Seeds are the benchmark kernels (the same corpus FuzzParse uses) plus
+// small shapes that exercise multi-phase and branchy pipelines.
+//
+// Runs as a plain unit test over the seed corpus in `go test`; explore with
+//
+//	go test ./internal/costmodel -fuzz FuzzCost -fuzztime 30s
+
+import (
+	"math"
+	"testing"
+
+	"phloem/internal/arch"
+	"phloem/internal/core"
+	"phloem/internal/costmodel"
+)
+
+func FuzzCost(f *testing.F) {
+	seeds := []string{
+		"",
+		"void k() {}",
+		"void k(int* restrict a, int n) { for (int i = 0; i < n; i = i + 1) { a[i] = i; } }",
+		`#pragma phloem
+void k(int* restrict a, int* restrict b, int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    int j = a[i];
+    if (j > 0) { b[j] = b[j] + 1; }
+  }
+}`,
+		`#pragma phloem
+void spmv(int* rows, int* cols, float* restrict vals,
+          float* restrict x, float* restrict y, int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    float acc = 0.0;
+    int kEnd = rows[i + 1];
+    for (int k = rows[i]; k < kEnd; k = k + 1) {
+      int c = cols[k];
+      acc = acc + vals[k] * x[c];
+    }
+    y[i] = acc;
+  }
+}`,
+		`#pragma phloem
+void phases(int* restrict a, int* restrict b, int n) {
+  for (int i = 0; i < n; i = i + 1) { a[i] = a[i] + 1; }
+  for (int i = 0; i < n; i = i + 1) { b[a[i]] = i; }
+}`,
+		"void k(int n) { while (1) { } }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	cfg := arch.DefaultConfig(1)
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := core.CompileSource(src, core.Options{Mode: core.Static})
+		if err != nil {
+			// Rejections are the frontend's concern (FuzzParse); the cost
+			// model only sees pipelines that compiled.
+			return
+		}
+		rep, err := costmodel.Analyze(res.Pipeline, cfg)
+		if err != nil {
+			return
+		}
+		if rep.PredictedF <= 0 || math.IsNaN(rep.PredictedF) || math.IsInf(rep.PredictedF, 0) {
+			t.Fatalf("degenerate prediction %v for compiled pipeline\nsource:\n%s", rep.PredictedF, src)
+		}
+		if rep.Bottleneck == "" {
+			t.Fatalf("report has no bottleneck\nsource:\n%s", src)
+		}
+		for _, e := range rep.Entities {
+			if e.Util < 0 || e.Util > 1 || math.IsNaN(e.Util) {
+				t.Fatalf("entity %s utilization %v outside [0, 1]\nsource:\n%s", e.Name, e.Util, src)
+			}
+		}
+		for _, q := range rep.Queues {
+			if q.Recommended < 1 {
+				t.Fatalf("queue %s recommended capacity %d < 1\nsource:\n%s", q.Name, q.Recommended, src)
+			}
+		}
+		first := rep.String()
+		again, err := costmodel.Analyze(res.Pipeline, cfg)
+		if err != nil {
+			t.Fatalf("second analysis of the same pipeline failed: %v\nsource:\n%s", err, src)
+		}
+		if got := again.String(); got != first {
+			t.Fatalf("report not deterministic:\n--- first ---\n%s--- second ---\n%s", first, got)
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package costmodel_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"phloem/internal/arch"
+	"phloem/internal/core"
+	"phloem/internal/costmodel"
+	"phloem/internal/taco"
+	"phloem/internal/workloads"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// staticReport compiles src with the static flow and renders its cost report.
+func staticReport(t *testing.T, src string) string {
+	t.Helper()
+	res, err := core.CompileSource(src, core.Options{Mode: core.Static})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	rep, err := costmodel.Analyze(res.Pipeline, arch.DefaultConfig(1))
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return rep.String()
+}
+
+// goldenSources returns the kernels covered by golden reports: the five
+// benchmark families plus one Taco-emitted kernel.
+func goldenSources(t *testing.T) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, wl := range workloads.Benchmarks(workloads.ScaleTest) {
+		out[strings.ToLower(wl.Name)] = wl.SerialSource
+	}
+	src, err := taco.Emit(taco.SpMV)
+	if err != nil {
+		t.Fatalf("taco emit: %v", err)
+	}
+	out["taco_spmv"] = src
+	return out
+}
+
+func TestGoldenReports(t *testing.T) {
+	for name, src := range goldenSources(t) {
+		t.Run(name, func(t *testing.T) {
+			got := staticReport(t, src)
+			path := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("report drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestReportDeterminism re-analyzes the same pipelines repeatedly and demands
+// byte-identical reports.
+func TestReportDeterminism(t *testing.T) {
+	for name, src := range goldenSources(t) {
+		first := staticReport(t, src)
+		for i := 0; i < 3; i++ {
+			if got := staticReport(t, src); got != first {
+				t.Fatalf("%s: report changed between runs:\n%s\nvs\n%s", name, first, got)
+			}
+		}
+	}
+}

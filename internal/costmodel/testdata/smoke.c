@@ -1,0 +1,10 @@
+#pragma phloem
+void smoke(int* restrict a, int* restrict b, int* restrict out, int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    int idx = a[i];
+    int v = b[idx];
+    acc = acc + v;
+  }
+  out[0] = acc;
+}

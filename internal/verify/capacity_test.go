@@ -1,0 +1,34 @@
+package verify_test
+
+import (
+	"testing"
+
+	"phloem/internal/verify"
+)
+
+// TestW1UndersizedQueueWarns: an explicit depth override below the cost
+// model's recommendation is flagged (as a warning — the pipeline still
+// runs, it just serializes on every burst).
+func TestW1UndersizedQueueWarns(t *testing.T) {
+	f := cleanPipe()
+	f.pipe.Queues[0].Depth = 1
+	rep := verify.Check(f.pipe)
+	d := requireRule(t, rep, "W1", verify.SevWarning)
+	if d.Queue != 0 {
+		t.Fatalf("W1 on queue %d, want 0", d.Queue)
+	}
+	if rep.HasErrors() {
+		t.Fatalf("W1 must not be an error:\n%s", rep.String())
+	}
+}
+
+// TestW1AdequateDepthClean: a generous explicit override passes, as does
+// the machine default (Depth 0) — the recommendation is clamped to the
+// architectural QueueDepth, so defaults always satisfy it.
+func TestW1AdequateDepthClean(t *testing.T) {
+	f := cleanPipe()
+	f.pipe.Queues[0].Depth = 24
+	requireNoRule(t, verify.Check(f.pipe), "W1")
+	f.pipe.Queues[0].Depth = 0
+	requireNoRule(t, verify.Check(f.pipe), "W1")
+}

@@ -23,6 +23,9 @@
 //     write/write and write/read of a slot in the same barrier epoch,
 //     stage writes racing an RA's stream reads, and writes to distinct
 //     slots the frontend's alias analysis could not prove disjoint)
+//   - W* capacity (queues whose explicit depth override sits below the
+//     static cost model's recommended capacity and will serialize their
+//     producer against their consumer on every burst)
 //
 // Diagnostics are structured (rule id, severity, stage/queue/pc location) so
 // callers can render, filter, or assert on them.
@@ -128,8 +131,9 @@ func (r *Report) String() string {
 
 // Check runs all analyses over the pipeline and returns the report.
 // Diagnostics are sorted canonically by (stage, pc, queue, rule, message) —
-// ties keep analysis order (topology, protocol, dataflow, liveness, effects)
-// — so two runs over the same pipeline render byte-identical output.
+// ties keep analysis order (topology, protocol, dataflow, liveness,
+// effects, capacity) — so two runs over the same pipeline render
+// byte-identical output.
 func Check(pl *pipeline.Pipeline) *Report {
 	m := buildModel(pl)
 	m.checkTopology()
@@ -137,6 +141,7 @@ func Check(pl *pipeline.Pipeline) *Report {
 	m.checkDataflow()
 	m.checkLiveness()
 	m.checkEffects()
+	m.checkCapacity()
 	sort.SliceStable(m.rep.Diags, func(i, j int) bool {
 		a, b := m.rep.Diags[i], m.rep.Diags[j]
 		if a.Stage != b.Stage {
