@@ -322,6 +322,98 @@ func TestPhloemcAutotuneTopK(t *testing.T) {
 	}
 }
 
+// TestPhloemsimFaultsList asserts `-faults list` enumerates both fault
+// families — the timing plans and the search-layer chaos plans — each with a
+// one-line description, and exits 0 without running anything.
+func TestPhloemsimFaultsList(t *testing.T) {
+	out := run(t, "phloemsim", "-faults", "list")
+	for _, want := range []string{
+		"timing-fault plans",
+		"min-queues", "cap every architectural queue at depth 1",
+		"kitchen-sink",
+		"seed-N",
+		"search-fault plans",
+		"search-panic", "search-sabotage", "search-cancel", "search-storm",
+		"search-seed-N",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-faults list missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "speedup") {
+		t.Errorf("-faults list should not run a simulation:\n%s", out)
+	}
+}
+
+// TestPhloemcCheckpointResume drives the interrupt/resume surface end to
+// end: a checkpointed run leaves a journal, and a -resume run replays every
+// measurement and reproduces the search result byte-identically.
+func TestPhloemcCheckpointResume(t *testing.T) {
+	stripVariant := func(out string) string {
+		var kept []string
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "search took") ||
+				strings.HasPrefix(line, "checkpoint: replayed") {
+				continue
+			}
+			kept = append(kept, line)
+		}
+		return strings.Join(kept, "\n")
+	}
+	ckpt := filepath.Join(t.TempDir(), "bfs.ckpt")
+	first := run(t, "phloemc", "-autotune", "BFS", "-checkpoint", ckpt)
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint journal not written: %v", err)
+	}
+	resumed := run(t, "phloemc", "-autotune", "BFS", "-checkpoint", ckpt, "-resume")
+	if !strings.Contains(resumed, "checkpoint: replayed") {
+		t.Errorf("-resume should report replayed measurements:\n%s", resumed)
+	}
+	if stripVariant(first) != stripVariant(resumed) {
+		t.Errorf("resumed run diverged from original:\n--- first\n%s--- resumed\n%s",
+			first, resumed)
+	}
+	// -resume without -checkpoint is a usage error.
+	cmd := exec.Command(filepath.Join(binDir, "phloemc"), "-autotune", "BFS", "-resume")
+	out, err := cmd.CombinedOutput()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+		t.Errorf("-resume without -checkpoint should exit 2: %v\n%s", err, out)
+	}
+}
+
+// TestTimeoutExitCodes asserts the cancellation exit-code contract (4)
+// across the binaries that accept -timeout.
+func TestTimeoutExitCodes(t *testing.T) {
+	exitCode := func(tool string, args ...string) (int, string) {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(binDir, tool), args...)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return 0, string(out)
+		}
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+		}
+		return ee.ExitCode(), string(out)
+	}
+	// An expired search deadline exits 4 whether it fires before the search
+	// starts or mid-flight; a generous one leaves the run untouched.
+	if code, out := exitCode("phloemc", "-autotune", "BFS", "-timeout", "1ns"); code != 4 {
+		t.Errorf("phloemc expired -timeout: exit %d, want 4:\n%s", code, out)
+	}
+	if code, out := exitCode("phloemc", "-autotune", "BFS", "-timeout", "1h"); code != 0 {
+		t.Errorf("phloemc generous -timeout: exit %d, want 0:\n%s", code, out)
+	}
+	if code, out := exitCode("phloemsim", "-bench", "BFS", "-input", "road-ny", "-timeout", "1ns"); code != 4 {
+		t.Errorf("phloemsim expired -timeout: exit %d, want 4:\n%s", code, out)
+	}
+	if code, out := exitCode("tacoc", "-pipeline", "-timeout", "1ns", "spmv"); code != 4 {
+		t.Errorf("tacoc expired -timeout: exit %d, want 4:\n%s", code, out)
+	}
+}
+
 func TestTacocEmitsAndPipelines(t *testing.T) {
 	out := run(t, "tacoc", "-pipeline", "spmv")
 	for _, want := range []string{"y(i) = A(i,j) * x(j)", "taco_spmv", "pipeline"} {

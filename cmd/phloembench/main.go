@@ -18,7 +18,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: table3|table4|table5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|ablations|chaos|telemetry|search|all")
+		"experiment: table3|table4|table5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|ablations|chaos|telemetry|search|interrupt|all")
 	scale := flag.String("scale", "test", "input scale: test|full")
 	verbose := flag.Bool("v", false, "print per-input rows")
 	chaosSeeds := flag.Int("chaos-seeds", 4, "seeded fault plans to add to the chaos sweep (beyond the named plans)")
@@ -74,6 +74,8 @@ func main() {
 			return bench.Ablations(cfg)
 		case "chaos":
 			return bench.Chaos(cfg, *chaosSeeds)
+		case "interrupt":
+			return bench.InterruptResume(cfg)
 		case "telemetry":
 			return bench.Telemetry(cfg)
 		case "search":

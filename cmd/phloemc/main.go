@@ -18,13 +18,19 @@
 // pruning ranks candidates with.
 //
 // Exit codes: 0 clean (warnings allowed), 1 compile or verifier errors,
-// 2 usage errors.
+// 2 usage errors, 4 search cancelled by -timeout (the partial best-so-far
+// result is still printed).
 //
 // With -autotune <bench> it runs the profile-guided search for one of the
 // built-in workload benchmarks on its training inputs (no kernel argument)
 // and prints the chosen pipeline plus search statistics; -j sets the search
 // worker parallelism (results are identical at every level), and -topk N
 // restricts measurement to the N best candidates by static predicted cost.
+// -timeout bounds the search in wall-clock time: on expiry the best
+// pipeline measured so far is printed and the process exits 4. -checkpoint
+// journals every completed measurement to a file, and -resume replays a
+// journal left by an interrupted run, reproducing the uninterrupted result
+// byte-identically without re-simulating finished candidates.
 //
 // Usage:
 //
@@ -34,9 +40,13 @@
 //	phloemc -effects kernel.c
 //	phloemc -cost kernel.c
 //	phloemc -autotune BFS -j 4 -topk 5
+//	phloemc -autotune BFS -timeout 30s -checkpoint bfs.ckpt
+//	phloemc -autotune BFS -checkpoint bfs.ckpt -resume
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -71,40 +81,59 @@ func injectRogueCode(pl *pipeline.Pipeline) {
 	}
 }
 
+// autotuneFlags carries the -autotune run configuration.
+type autotuneFlags struct {
+	parallelism, threads, topK int
+	timeout                    time.Duration
+	checkpoint                 string
+	resume                     bool
+}
+
 // runAutotune searches the candidate space of one built-in workload
 // benchmark on its training inputs and prints the winning pipeline plus
-// search statistics.
-func runAutotune(name string, parallelism, threads, topK int) error {
+// search statistics. Returns cancelled=true when the -timeout expired and
+// the printed result is the partial best-so-far.
+func runAutotune(name string, f autotuneFlags) (cancelled bool, err error) {
 	wl, err := workloads.ByName(workloads.ScaleTest, name)
 	if err != nil {
-		return err
+		return false, err
 	}
 	prog, err := workloads.CompileSerial(wl.SerialSource)
 	if err != nil {
-		return err
+		return false, err
 	}
 	opt := core.DefaultOptions()
 	opt.Mode = core.Autotune
-	opt.MaxThreads = threads
+	opt.MaxThreads = f.threads
 	opt.Training = bench.Trainers(wl)
-	opt.Parallelism = parallelism
-	opt.TopK = topK
+	opt.Parallelism = f.parallelism
+	opt.TopK = f.topK
+	opt.Deadline = f.timeout
+	opt.Checkpoint = f.checkpoint
+	opt.Resume = f.resume
 	start := time.Now()
 	res, err := core.Compile(prog, opt)
 	if err != nil {
-		return err
+		return false, err
 	}
 	elapsed := time.Since(start)
 	fmt.Print(res.Pipeline.Describe())
 	fmt.Printf("\nsearch: enumerated %d candidates, measured %d, deduplicated %d, skipped %d\n",
 		res.Enumerated, res.Searched, res.Deduped, len(res.Skips))
-	if topK > 0 {
+	if f.topK > 0 {
 		fmt.Printf("static rank: pruned %d candidates outside top-%d (rank phase took %dms)\n",
-			res.Pruned, topK, res.RankMillis)
+			res.Pruned, f.topK, res.RankMillis)
+	}
+	if res.Replayed > 0 {
+		fmt.Printf("checkpoint: replayed %d measurements from %s\n", res.Replayed, f.checkpoint)
 	}
 	fmt.Printf("best training run: %d cycles; search took %s (parallelism %d)\n",
-		res.TrainCycles, elapsed.Round(time.Millisecond), parallelism)
-	return nil
+		res.TrainCycles, elapsed.Round(time.Millisecond), f.parallelism)
+	if res.Cancelled {
+		fmt.Printf("search cancelled (%v): result is the best of the candidates measured before the cut\n",
+			res.CancelCause)
+	}
+	return res.Cancelled, nil
 }
 
 func main() {
@@ -125,15 +154,37 @@ func main() {
 		"with -autotune: search worker parallelism (0 = GOMAXPROCS, 1 = serial; results are identical for every value)")
 	topK := flag.Int("topk", 0,
 		"with -autotune: measure only the K best candidates by static predicted cost (0 = measure all)")
+	timeout := flag.Duration("timeout", 0,
+		"with -autotune: wall-clock search budget; on expiry the best-so-far pipeline is printed and the exit code is 4 (0 = unbounded)")
+	checkpoint := flag.String("checkpoint", "",
+		"with -autotune: journal completed measurements to this file so an interrupted search can be resumed")
+	resume := flag.Bool("resume", false,
+		"with -autotune: replay measurements from the -checkpoint journal instead of re-simulating them")
 	flag.Parse()
 	if *autotuneBench != "" {
 		if flag.NArg() != 0 {
-			fmt.Fprintln(os.Stderr, "usage: phloemc -autotune <bench> [-j N] [-topk K] (no kernel argument)")
+			fmt.Fprintln(os.Stderr, "usage: phloemc -autotune <bench> [-j N] [-topk K] [-timeout D] [-checkpoint F [-resume]] (no kernel argument)")
 			os.Exit(2)
 		}
-		if err := runAutotune(*autotuneBench, *parallel, *threads, *topK); err != nil {
+		if *resume && *checkpoint == "" {
+			fmt.Fprintln(os.Stderr, "phloemc: -resume requires -checkpoint")
+			os.Exit(2)
+		}
+		cancelled, err := runAutotune(*autotuneBench, autotuneFlags{
+			parallelism: *parallel, threads: *threads, topK: *topK,
+			timeout: *timeout, checkpoint: *checkpoint, resume: *resume,
+		})
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "phloemc:", err)
+			// A deadline so tight the search never got started still honors
+			// the cancellation exit code, it just has no partial result.
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				os.Exit(4)
+			}
 			os.Exit(1)
+		}
+		if cancelled {
+			os.Exit(4)
 		}
 		return
 	}

@@ -5,15 +5,18 @@
 // Usage:
 //
 //	phloemsim -bench BFS -input road
+//	phloemsim -faults list                      # list fault plans and stop
 //	phloemsim -bench BFS -faults kitchen-sink   # chaos plan, results must match
 //	phloemsim -bench BFS -cycle-budget 1000     # guardrail demo, exits 2
+//	phloemsim -bench BFS -timeout 100ms         # wall-clock bound, exits 4
 //	phloemsim -bench BFS -inject deadlock       # guardrail demo, exits 1
 //	phloemsim -bench BFS -profile               # source-line stall profile
 //	phloemsim -bench BFS -chrome-trace out.json # chrome://tracing timeline
 //	phloemsim -bench BFS -telemetry s.csv -interval 1000
 //
 // Exit codes: 0 success, 1 compile failure/deadlock/any other error,
-// 2 cycle or trace budget exceeded, 3 functional trap.
+// 2 cycle or trace budget exceeded, 3 functional trap, 4 wall-clock
+// timeout (-timeout) or interruption.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"phloem/internal/arch"
 	"phloem/internal/core"
@@ -45,9 +49,26 @@ func exitCode(err error) int {
 		return 2
 	case errors.Is(err, sim.ErrTrap):
 		return 3
+	case errors.Is(err, sim.ErrWallBudget), errors.Is(err, sim.ErrCancelled):
+		return 4
 	default:
 		return 1
 	}
+}
+
+// listFaults prints every named fault plan (timing and search layer) with
+// its description, plus the seeded-plan syntax.
+func listFaults() {
+	fmt.Println("timing-fault plans (phloemsim -faults <name>):")
+	for _, p := range fault.Named() {
+		fmt.Printf("  %-16s %s\n", p.Name, p.Desc)
+	}
+	fmt.Println("  seed-N           pseudo-random perturbation mix expanded from seed N")
+	fmt.Println("search-fault plans (chaos-testing the autotune search layer):")
+	for _, p := range fault.NamedSearch() {
+		fmt.Printf("  %-16s %s\n", p.Name, p.Desc)
+	}
+	fmt.Println("  search-seed-N    pseudo-random search-fault mix expanded from seed N")
 }
 
 // injectDeadlock adds a dequeue from a fresh queue no stage feeds, so the
@@ -72,7 +93,8 @@ func run() int {
 	benchName := flag.String("bench", "BFS", "benchmark: BFS|CC|PRD|Radii|SpMM")
 	inputName := flag.String("input", "", "input name (default: the road-like test input)")
 	cycleBudget := flag.Uint64("cycle-budget", 0, "abort any run past this many cycles (exit code 2)")
-	faultPlan := flag.String("faults", "", "timing-fault plan: a named plan or seed-N (results must still match)")
+	timeout := flag.Duration("timeout", 0, "abort any run past this wall-clock duration (exit code 4)")
+	faultPlan := flag.String("faults", "", "timing-fault plan: a named plan or seed-N (results must still match); 'list' prints all plans")
 	inject := flag.String("inject", "", "sabotage the pipeline to demo guardrails: deadlock|trap")
 	seriesOut := flag.String("telemetry", "", "write the pipelined run's interval time-series to this file (.csv, else JSON; \"-\" = stdout)")
 	profile := flag.Bool("profile", false, "print the pipelined run's source-annotated hot-lines stall profile")
@@ -84,6 +106,11 @@ func run() int {
 	fail := func(err error) int {
 		fmt.Fprintln(os.Stderr, "phloemsim:", err)
 		return exitCode(err)
+	}
+
+	if *faultPlan == "list" {
+		listFaults()
+		return 0
 	}
 
 	bench, err := workloads.ByName(workloads.ScaleTest, *benchName)
@@ -131,6 +158,9 @@ func run() int {
 		}
 		plan.Apply(inst.Machine)
 		inst.Machine.Cfg.CycleBudget = *cycleBudget
+		if *timeout > 0 {
+			inst.Machine.WallDeadline = time.Now().Add(*timeout)
+		}
 		if col != nil {
 			inst.Machine.Probe = col
 			inst.Machine.Cfg.TelemetryInterval = *interval

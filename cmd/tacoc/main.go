@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	tacoc spmv            # print the emitted serial kernel
-//	tacoc -pipeline spmv  # also compile it and print the pipeline
+//	tacoc spmv                        # print the emitted serial kernel
+//	tacoc -pipeline spmv              # also compile it and print the pipeline
+//	tacoc -pipeline -timeout 10s spmv # bound the compile in wall-clock time
+//
+// Exit codes: 0 success, 1 emit/compile errors, 2 usage errors,
+// 4 compile cancelled by -timeout.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -19,9 +25,11 @@ import (
 
 func main() {
 	pipe := flag.Bool("pipeline", false, "compile the kernel through Phloem")
+	timeout := flag.Duration("timeout", 0,
+		"with -pipeline: wall-clock compile budget (exit code 4 on expiry; 0 = unbounded)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tacoc [-pipeline] spmv|sddmm|mtmul|residual")
+		fmt.Fprintln(os.Stderr, "usage: tacoc [-pipeline] [-timeout D] spmv|sddmm|mtmul|residual")
 		os.Exit(2)
 	}
 	k := taco.Kernel(flag.Arg(0))
@@ -32,9 +40,14 @@ func main() {
 	}
 	fmt.Printf("// %s\n%s", taco.Expression(k), src)
 	if *pipe {
-		res, err := core.CompileSource(src, core.DefaultOptions())
+		opt := core.DefaultOptions()
+		opt.Deadline = *timeout
+		res, err := core.CompileSource(src, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tacoc:", err)
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				os.Exit(4)
+			}
 			os.Exit(1)
 		}
 		fmt.Println()

@@ -20,6 +20,9 @@ import (
 func Chaos(cfg Config, seeds int) error {
 	plans := fault.Suite(seeds)
 	cfg.printf("\nChaos sweep: %d fault plans, results must stay bit-identical\n", len(plans))
+	for _, p := range plans {
+		cfg.printf("  %-14s %s\n", p.Name, p.Desc)
+	}
 	for _, bench := range workloads.Benchmarks(cfg.Scale) {
 		serialProg, err := workloads.CompileSerial(bench.SerialSource)
 		if err != nil {

@@ -1,0 +1,112 @@
+package bench
+
+// The interrupt/resume experiment (`phloembench -exp interrupt`): for every
+// benchmark family, run the autotune search to completion, then run it again
+// with a checkpoint journal and a mid-flight cancellation, resume from the
+// journal, and assert the resumed result reproduces the uninterrupted one
+// byte-for-byte (winner, counters, skips, SearchPoint order). This is the
+// robustness contract behind `phloemc -autotune -checkpoint/-resume`.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"phloem/internal/core"
+	"phloem/internal/ir"
+	"phloem/internal/pipeline"
+	"phloem/internal/workloads"
+)
+
+// interruptAfter is where the experiment cancels the interrupted leg: after
+// the serial baseline plus two candidate measurements have completed.
+const interruptAfter = 3
+
+// cancelAfterTrainers wraps trainers so cancel fires once n training
+// measurements have returned (completed or failed) — a deterministic
+// interruption point at Parallelism 1, a valid one at any level.
+func cancelAfterTrainers(ts []core.TrainFunc, n int32, cancel context.CancelFunc) []core.TrainFunc {
+	var done int32
+	out := make([]core.TrainFunc, len(ts))
+	for i, train := range ts {
+		train := train
+		out[i] = func(p *pipeline.Pipeline, b core.Budget) (uint64, error) {
+			c, err := train(p, b)
+			if atomic.AddInt32(&done, 1) == n {
+				cancel()
+			}
+			return c, err
+		}
+	}
+	return out
+}
+
+// interruptOptions is the autotune configuration all three legs share: one
+// training input per family keeps the multi-run matrix tractable (the
+// journal/replay structure is input-count independent).
+func interruptOptions(cfg Config, bench *workloads.Benchmark, par int) core.Options {
+	opt := autotuneOptions(cfg, bench)
+	opt.Training = opt.Training[:1]
+	opt.Parallelism = par
+	return opt
+}
+
+// interruptResume runs the interrupted-then-resumed pair for one benchmark
+// at one parallelism level. The journal lives at path (created by the
+// interrupted leg, consumed by the resumed one).
+func interruptResume(cfg Config, bench *workloads.Benchmark, prog *ir.Prog, path string,
+	par int) (partial, resumed *core.Result, err error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opt := interruptOptions(cfg, bench, par)
+	opt.Training = cancelAfterTrainers(opt.Training, interruptAfter, cancel)
+	opt.Ctx = ctx
+	opt.Checkpoint = path
+	if partial, err = core.Compile(prog, opt); err != nil {
+		return nil, nil, fmt.Errorf("interrupted: %w", err)
+	}
+
+	opt = interruptOptions(cfg, bench, par)
+	opt.Checkpoint = path
+	opt.Resume = true
+	if resumed, err = core.Compile(prog, opt); err != nil {
+		return nil, nil, fmt.Errorf("resumed: %w", err)
+	}
+	return partial, resumed, nil
+}
+
+// InterruptResume sweeps the interrupt-and-resume contract over every
+// benchmark family at cfg.Parallelism.
+func InterruptResume(cfg Config) error {
+	dir, err := os.MkdirTemp("", "phloem-ckpt-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cfg.printf("\nInterrupt/resume: cancel after %d measurements, resume from checkpoint journal\n",
+		interruptAfter)
+	for _, bench := range workloads.Benchmarks(cfg.Scale) {
+		prog, err := workloads.CompileSerial(bench.SerialSource)
+		if err != nil {
+			return fmt.Errorf("%s: %w", bench.Name, err)
+		}
+		ref, err := core.Compile(prog, interruptOptions(cfg, bench, cfg.Parallelism))
+		if err != nil {
+			return fmt.Errorf("%s uninterrupted: %w", bench.Name, err)
+		}
+		path := filepath.Join(dir, bench.Name+".jsonl")
+		partial, resumed, err := interruptResume(cfg, bench, prog, path, cfg.Parallelism)
+		if err != nil {
+			return fmt.Errorf("%s: %w", bench.Name, err)
+		}
+		if got, want := searchSignature(resumed), searchSignature(ref); got != want {
+			return fmt.Errorf("%s: resumed result differs from uninterrupted\n--- uninterrupted\n%s\n--- resumed\n%s",
+				bench.Name, want, got)
+		}
+		cfg.printf("%-6s ok: enumerated=%d cancelled=%v after interrupt, resumed with %d replayed -> identical result (best %q)\n",
+			bench.Name, ref.Enumerated, partial.Cancelled, resumed.Replayed, ref.Pipeline.Description)
+	}
+	return nil
+}

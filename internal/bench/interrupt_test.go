@@ -1,0 +1,69 @@
+package bench
+
+// Suite-wide interrupt/resume checks: on every benchmark family, an
+// autotune interrupted mid-flight with a checkpoint journal and then
+// resumed reproduces the uninterrupted serial run's winner, counters,
+// skips, and SearchPoint order byte-identically — at Parallelism 1, 4,
+// and GOMAXPROCS (trimmed to just 4 under -race, like the other suite
+// sweeps, since the reference leg already pins serial equivalence).
+
+import (
+	"path/filepath"
+	"testing"
+
+	"phloem/internal/core"
+	"phloem/internal/workloads"
+)
+
+// interruptParallelisms is the interrupt/resume sweep: under -race the
+// expensive legs collapse to the fixed parallel one.
+func interruptParallelisms() []int {
+	if raceEnabled {
+		return []int{4}
+	}
+	return []int{1, 4, 0}
+}
+
+func TestInterruptResumeAllBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run matrix in -short mode")
+	}
+	cfg := testConfig()
+	for _, bench := range workloads.Benchmarks(workloads.ScaleTest) {
+		bench := bench
+		t.Run(bench.Name, func(t *testing.T) {
+			if raceEnabled && bench.Name == "SpMM" {
+				// The journal/cancel concurrency surface is family-independent
+				// and already swept by the cheaper families; SpMM's ~20-minute
+				// race-mode matrix adds nothing but timeout risk.
+				t.Skip("SpMM interrupt matrix under -race")
+			}
+			prog, err := workloads.CompileSerial(bench.SerialSource)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := core.Compile(prog, interruptOptions(cfg, bench, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := searchSignature(ref)
+			for _, par := range interruptParallelisms() {
+				path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+				partial, resumed, err := interruptResume(cfg, bench, prog, path, par)
+				if err != nil {
+					t.Fatalf("par %d: %v", par, err)
+				}
+				if partial.Pipeline == nil {
+					t.Fatalf("par %d: interrupted run returned no best-so-far pipeline", par)
+				}
+				if resumed.Replayed == 0 {
+					t.Errorf("par %d: resumed run replayed nothing", par)
+				}
+				if got := searchSignature(resumed); got != want {
+					t.Errorf("par %d: resumed result differs from uninterrupted:\n--- uninterrupted\n%s\n--- resumed\n%s",
+						par, want, got)
+				}
+			}
+		})
+	}
+}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"phloem/internal/pipeline"
 	"phloem/internal/sim"
@@ -37,6 +39,16 @@ type Budget struct {
 	// TelemetryInterval sets the probe's sampling period in cycles
 	// (0 = end-of-run sample only).
 	TelemetryInterval uint64
+	// Ctx, when non-nil, cancels the measurement cooperatively: the
+	// simulator polls it at amortized intervals and aborts with
+	// sim.ErrCancelled. A background context changes nothing.
+	Ctx context.Context
+	// Wall bounds the measurement in wall-clock time (0 = unlimited) — the
+	// wall complement of Cycles. Each Apply re-anchors the deadline at
+	// time.Now()+Wall, so the allowance is per applied machine (one
+	// training input in the autotune loop), aborting with
+	// sim.ErrWallBudget.
+	Wall time.Duration
 }
 
 // Apply configures a machine with the budget.
@@ -50,6 +62,12 @@ func (b Budget) Apply(m *sim.Machine) {
 	if b.Probe != nil {
 		m.Probe = b.Probe
 		m.Cfg.TelemetryInterval = b.TelemetryInterval
+	}
+	if b.Ctx != nil {
+		m.Ctx = b.Ctx
+	}
+	if b.Wall > 0 {
+		m.WallDeadline = time.Now().Add(b.Wall)
 	}
 }
 
@@ -65,8 +83,17 @@ func candidateBudget(serialCycles uint64, factor int) Budget {
 	if factor == 0 {
 		factor = DefaultBudgetFactor
 	}
-	cycles := serialCycles * uint64(factor)
+	// Both multiplications saturate: a huge serial baseline must yield an
+	// effectively unlimited budget, never a silently wrapped tiny one.
+	f := uint64(factor)
+	cycles := serialCycles * f
+	if serialCycles != 0 && cycles/f != serialCycles {
+		cycles = math.MaxUint64
+	}
 	tr := cycles * 8
+	if cycles > math.MaxUint64/8 {
+		tr = math.MaxUint64
+	}
 	if tr > math.MaxInt32 {
 		tr = math.MaxInt32
 	}
@@ -95,6 +122,9 @@ const (
 	// SkipPruned: the Options.TopK rank phase statically predicted the
 	// candidate cannot win and excluded it from simulation.
 	SkipPruned
+	// SkipCancelled: the search was cancelled (Options.Ctx or Deadline)
+	// before this candidate could be measured.
+	SkipCancelled
 )
 
 func (r SkipReason) String() string {
@@ -113,9 +143,38 @@ func (r SkipReason) String() string {
 		return "panic"
 	case SkipPruned:
 		return "pruned"
+	case SkipCancelled:
+		return "cancelled"
 	default:
 		return "error"
 	}
+}
+
+// ParseSkipReason maps a SkipReason.String() rendering back to the reason —
+// the inverse used when replaying checkpoint-journal entries. The second
+// result is false for unknown strings.
+func ParseSkipReason(s string) (SkipReason, bool) {
+	switch s {
+	case "build":
+		return SkipBuild, true
+	case "verifier":
+		return SkipVerifier, true
+	case "deadlock":
+		return SkipDeadlock, true
+	case "budget":
+		return SkipBudget, true
+	case "trap":
+		return SkipTrap, true
+	case "panic":
+		return SkipPanic, true
+	case "pruned":
+		return SkipPruned, true
+	case "cancelled":
+		return SkipCancelled, true
+	case "error":
+		return SkipError, true
+	}
+	return SkipError, false
 }
 
 // CandidateSkip records one candidate the search dropped, with the phase
@@ -151,10 +210,15 @@ func classify(err error) SkipReason {
 		return SkipVerifier
 	case errors.Is(err, sim.ErrDeadlock):
 		return SkipDeadlock
-	case errors.Is(err, sim.ErrCycleBudget), errors.Is(err, sim.ErrTraceLimit):
+	case errors.Is(err, sim.ErrCycleBudget), errors.Is(err, sim.ErrTraceLimit),
+		errors.Is(err, sim.ErrWallBudget):
+		// A wall overrun is a per-candidate budget verdict, not a search
+		// abort: the candidate is dropped but the search goes on.
 		return SkipBudget
 	case errors.Is(err, sim.ErrTrap):
 		return SkipTrap
+	case errors.Is(err, sim.ErrCancelled):
+		return SkipCancelled
 	}
 	return SkipError
 }
@@ -178,6 +242,13 @@ func timingIndependent(err error) bool {
 // verbatim instead of re-measuring every one under the exact bound.
 var errBudget = fmt.Errorf("core: training cycle budget exhausted: %w", sim.ErrCycleBudget)
 
+// errCancelled is the canonical cancellation skip error. Like budget skips,
+// cancellation skips are recorded without cycle or phase detail: a parallel
+// worker may observe the cancel at any point in its measurement, so only a
+// canonical record keeps skip lists identical across Parallelism levels once
+// the set of cancelled candidates is fixed.
+var errCancelled = fmt.Errorf("core: search cancelled before candidate finished training: %w", sim.ErrCancelled)
+
 // measureAll runs every training input, charging all of them against one
 // cumulative cycle bound (0 = unlimited): input i runs with the cycles the
 // earlier inputs left over, and once the total reaches the bound the
@@ -193,6 +264,9 @@ var errBudget = fmt.Errorf("core: training cycle budget exhausted: %w", sim.ErrC
 func measureAll(pipe *pipeline.Pipeline, opt Options, base Budget, bound func() uint64) (uint64, error) {
 	var total uint64
 	for _, train := range opt.Training {
+		if base.Ctx != nil && base.Ctx.Err() != nil {
+			return total, errCancelled
+		}
 		bn := bound()
 		if bn > 0 && total >= bn {
 			return total, errBudget

@@ -1,0 +1,204 @@
+package core
+
+// White-box tests for the measurement-budget layer: candidateBudget
+// overflow saturation, measureAll's cumulative bound-tightening edge
+// cases, and SkipReason/CandidateSkip rendering round-trips.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"phloem/internal/pipeline"
+)
+
+func TestCandidateBudgetOverflowSaturates(t *testing.T) {
+	// A huge serial baseline must saturate, never wrap to a tiny budget.
+	b := candidateBudget(math.MaxUint64/4, 8)
+	if b.Cycles != math.MaxUint64 {
+		t.Errorf("serial*factor wrapped: Cycles = %d, want MaxUint64", b.Cycles)
+	}
+	if b.Trace != math.MaxInt32 {
+		t.Errorf("Trace = %d, want MaxInt32", b.Trace)
+	}
+	// The cycle product fits but the 8x trace product would wrap.
+	b = candidateBudget(math.MaxUint64/8+10, 1)
+	if b.Cycles != math.MaxUint64/8+10 {
+		t.Errorf("Cycles = %d, want exact product %d", b.Cycles, uint64(math.MaxUint64/8+10))
+	}
+	if b.Trace != math.MaxInt32 {
+		t.Errorf("Trace = %d, want MaxInt32 after trace saturation", b.Trace)
+	}
+	// Ordinary values stay exact.
+	b = candidateBudget(1000, 0)
+	if b.Cycles != 1000*DefaultBudgetFactor || b.Trace != 1000*DefaultBudgetFactor*8 {
+		t.Errorf("small budget distorted: %+v", b)
+	}
+	// Zero baseline: nothing to saturate, budget is zero (unlimited).
+	b = candidateBudget(0, 8)
+	if b.Cycles != 0 || b.Trace != 0 {
+		t.Errorf("zero baseline budget: %+v", b)
+	}
+	// Negative factor disables budgeting entirely.
+	if b = candidateBudget(math.MaxUint64, -1); b.Cycles != 0 || b.Trace != 0 {
+		t.Errorf("negative factor: %+v", b)
+	}
+}
+
+// fakeTrainer returns a TrainFunc yielding the given cycle counts in order,
+// recording the budget each call ran under.
+func fakeTrainer(t *testing.T, cycles []uint64, calls *int, budgets *[]uint64) TrainFunc {
+	return func(_ *pipeline.Pipeline, b Budget) (uint64, error) {
+		t.Helper()
+		if *calls >= len(cycles) {
+			t.Fatalf("trainer called %d times, only %d inputs provisioned", *calls+1, len(cycles))
+		}
+		c := cycles[*calls]
+		*calls++
+		*budgets = append(*budgets, b.Cycles)
+		return c, nil
+	}
+}
+
+func TestMeasureAllBoundEdgeCases(t *testing.T) {
+	// measureAll charges every input against one cumulative bound; one
+	// TrainFunc per input, all sharing the recording state.
+	setup := func(perInput []uint64) (Options, *int, *[]uint64) {
+		calls, budgets := 0, []uint64{}
+		opt := Options{}
+		for range perInput {
+			opt.Training = append(opt.Training, fakeTrainer(t, perInput, &calls, &budgets))
+		}
+		return opt, &calls, &budgets
+	}
+
+	t.Run("zero-bound-unlimited", func(t *testing.T) {
+		opt, calls, budgets := setup([]uint64{100, 200, 300})
+		total, err := measureAll(nil, opt, Budget{}, func() uint64 { return 0 })
+		if err != nil || total != 600 {
+			t.Fatalf("total=%d err=%v, want 600 nil", total, err)
+		}
+		if *calls != 3 {
+			t.Errorf("ran %d inputs, want all 3", *calls)
+		}
+		for i, b := range *budgets {
+			if b != 0 {
+				t.Errorf("input %d ran under budget %d, want 0 (unlimited)", i, b)
+			}
+		}
+	})
+
+	t.Run("bound-hit-exactly-at-input-boundary", func(t *testing.T) {
+		// The first input consumes exactly the whole bound: the second must
+		// not be simulated at all, and the verdict is the canonical budget
+		// error with the pre-boundary total.
+		opt, calls, _ := setup([]uint64{100, 100})
+		total, err := measureAll(nil, opt, Budget{}, func() uint64 { return 100 })
+		if !errors.Is(err, errBudget) {
+			t.Fatalf("err = %v, want errBudget", err)
+		}
+		if total != 100 {
+			t.Errorf("total = %d, want the 100 cycles accumulated before the cut", total)
+		}
+		if *calls != 1 {
+			t.Errorf("second input was simulated (%d calls) despite an exhausted bound", *calls)
+		}
+	})
+
+	t.Run("bound-tightens-between-inputs", func(t *testing.T) {
+		// The bound shrinks from 1000 to 150 while input 0 runs (an incumbent
+		// finished elsewhere): input 1 must run under only the remainder.
+		opt, _, budgets := setup([]uint64{100, 40})
+		bounds := []uint64{1000, 150}
+		i := 0
+		total, err := measureAll(nil, opt, Budget{}, func() uint64 {
+			b := bounds[i]
+			if i < len(bounds)-1 {
+				i++
+			}
+			return b
+		})
+		if err != nil || total != 140 {
+			t.Fatalf("total=%d err=%v, want 140 nil", total, err)
+		}
+		want := []uint64{1000, 50} // input 1: 150 bound - 100 spent
+		for i := range want {
+			if (*budgets)[i] != want[i] {
+				t.Errorf("input %d budget = %d, want %d", i, (*budgets)[i], want[i])
+			}
+		}
+	})
+
+	t.Run("tightened-below-total", func(t *testing.T) {
+		// The bound tightens below what input 0 already spent: input 1 is
+		// cut without simulating.
+		opt, calls, _ := setup([]uint64{100, 100})
+		bounds := []uint64{1000, 80}
+		i := 0
+		total, err := measureAll(nil, opt, Budget{}, func() uint64 {
+			b := bounds[i]
+			if i < len(bounds)-1 {
+				i++
+			}
+			return b
+		})
+		if !errors.Is(err, errBudget) || total != 100 || *calls != 1 {
+			t.Fatalf("total=%d calls=%d err=%v, want 100/1/errBudget", total, *calls, err)
+		}
+	})
+
+	t.Run("cancelled-between-inputs", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		calls := 0
+		opt := Options{Training: []TrainFunc{
+			func(*pipeline.Pipeline, Budget) (uint64, error) {
+				calls++
+				cancel() // cancel lands while input 0 runs
+				return 100, nil
+			},
+			func(*pipeline.Pipeline, Budget) (uint64, error) {
+				calls++
+				return 100, nil
+			},
+		}}
+		total, err := measureAll(nil, opt, Budget{Ctx: ctx}, func() uint64 { return 0 })
+		if !errors.Is(err, errCancelled) {
+			t.Fatalf("err = %v, want errCancelled", err)
+		}
+		if total != 100 || calls != 1 {
+			t.Errorf("total=%d calls=%d, want 100/1 (input 1 skipped)", total, calls)
+		}
+	})
+}
+
+func TestSkipReasonStringRoundTrip(t *testing.T) {
+	for r := SkipBuild; r <= SkipCancelled; r++ {
+		s := r.String()
+		back, ok := ParseSkipReason(s)
+		if !ok || back != r {
+			t.Errorf("round-trip %d -> %q -> (%d, %v)", r, s, back, ok)
+		}
+	}
+	if s := SkipCancelled.String(); s != "cancelled" {
+		t.Errorf("SkipCancelled = %q", s)
+	}
+	if _, ok := ParseSkipReason("no-such-reason"); ok {
+		t.Error("unknown string parsed as a reason")
+	}
+	// Out-of-range reasons render as "error" and parse back to SkipError.
+	if back, ok := ParseSkipReason(SkipReason(99).String()); !ok || back != SkipError {
+		t.Errorf("unknown reason round-trip: (%d, %v)", back, ok)
+	}
+}
+
+func TestCandidateSkipString(t *testing.T) {
+	s := CandidateSkip{Phase: 0, Subset: []int{1, 2}, Reason: SkipCancelled, Err: errCancelled}
+	got := s.String()
+	for _, want := range []string{"phase 0", "[1 2]", "cancelled", "search cancelled"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("skip string %q lacks %q", got, want)
+		}
+	}
+}

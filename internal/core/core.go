@@ -6,8 +6,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"phloem/internal/analysis"
 	"phloem/internal/arch"
@@ -93,12 +95,55 @@ type Options struct {
 	// identified by phase index and point subset (the static pipeline is
 	// phase -1 with a nil subset). The factory is called once per unique
 	// candidate at enumeration time, on one goroutine, in enumeration order
-	// — deduplicated candidates and bound-exact re-measurements are not
-	// probed. The probe samples every Machine.TelemetryInterval cycles and
-	// observes every training input of that candidate; it never changes
-	// measured cycles, but the probe itself must tolerate being driven from
-	// a worker goroutine when Parallelism > 1.
+	// — deduplicated candidates, bound-exact re-measurements, and
+	// journal-replayed candidates are not probed. The probe samples every
+	// Machine.TelemetryInterval cycles and observes every training input of
+	// that candidate; it never changes measured cycles, but the probe
+	// itself must tolerate being driven from a worker goroutine when
+	// Parallelism > 1.
 	CandidateProbe func(phase int, subset []int) sim.Probe
+	// Ctx, when non-nil, cancels compilation and the autotune search
+	// cooperatively: the simulator polls it at amortized intervals, and in
+	// Autotune mode a cancelled search returns a structured partial Result
+	// — best-so-far incumbent, full counters, and every unmeasured
+	// candidate tagged SkipCancelled — with a nil error. A nil or
+	// background context leaves results and Stats bit-identical.
+	Ctx context.Context
+	// Deadline bounds the whole compilation in wall-clock time
+	// (0 = unbounded). It is implemented as a context timeout layered over
+	// Ctx, so expiry behaves exactly like cancellation.
+	Deadline time.Duration
+	// Checkpoint, when non-empty, is the path of an append-only JSONL
+	// journal recording each measured candidate's training outcome, keyed
+	// by candidate fingerprint under a program/arch/options hash. An
+	// interrupted search leaves its completed measurements behind; see
+	// Resume.
+	Checkpoint string
+	// Resume replays measurements recorded in the Checkpoint journal
+	// instead of re-simulating them, so an interrupted-then-resumed search
+	// reproduces the uninterrupted winner, counters, skips, and
+	// SearchPoint order byte-identically. A journal whose key does not
+	// match the current program/arch/options — or whose tail is corrupt —
+	// degrades gracefully to re-measurement; without Resume an existing
+	// journal is truncated and rewritten.
+	Resume bool
+}
+
+// searchContext resolves Ctx and Deadline into the effective context for
+// one compilation. It returns nil (plus a no-op cancel) when neither is
+// set, so the default path skips context plumbing entirely.
+func (o *Options) searchContext() (context.Context, context.CancelFunc) {
+	if o.Ctx == nil && o.Deadline <= 0 {
+		return nil, func() {}
+	}
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if o.Deadline > 0 {
+		return context.WithTimeout(ctx, o.Deadline)
+	}
+	return ctx, func() {}
 }
 
 // probed attaches the per-candidate telemetry probe (if configured) to a
@@ -161,6 +206,21 @@ type Result struct {
 	// from any autotune run without a separate Search pass. Deduplicated
 	// occurrences are not repeated.
 	Points []SearchPoint
+	// Cancelled reports that the autotune search stopped early because
+	// Options.Ctx was cancelled or Options.Deadline expired. The Result is
+	// still structurally complete: Pipeline is the best candidate measured
+	// before the cut (at worst the serial fallback), counters cover every
+	// enumerated candidate, and each unmeasured candidate is recorded in
+	// Skips and Points with SkipCancelled.
+	Cancelled bool
+	// CancelCause is the context error behind a cancellation
+	// (context.Canceled or context.DeadlineExceeded; nil otherwise).
+	CancelCause error
+	// Replayed counts measurements restored from the Options.Checkpoint
+	// journal instead of simulated (the serial baseline counts too). Like
+	// RankMillis this is execution metadata, not a search result, and is
+	// excluded from determinism comparisons.
+	Replayed int
 	// AliasStats counts the effects analysis's parameter-pair verdicts
 	// (CompileSource only; zero for hand-built programs).
 	AliasStats effects.Stats
@@ -176,6 +236,11 @@ type Result struct {
 // rejected here with a positioned E0 error; unannotated-but-proven-safe
 // parameters compile with a warning on Result.SourceWarnings.
 func CompileSource(src string, opt Options) (*Result, error) {
+	if opt.Ctx != nil {
+		if err := opt.Ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: compile cancelled: %w", err)
+		}
+	}
 	fn, err := source.Parse(src)
 	if err != nil {
 		return nil, fmt.Errorf("core: parse: %w", err)
@@ -220,6 +285,16 @@ func Compile(p *ir.Prog, opt Options) (res *Result, err error) {
 	}
 	if opt.MaxCandidates <= 0 {
 		opt.MaxCandidates = 5
+	}
+	// Resolve Ctx/Deadline once; everything below sees the effective
+	// context on opt.Ctx (nil when neither is configured).
+	ctx, cancel := opt.searchContext()
+	defer cancel()
+	if ctx != nil {
+		opt.Ctx, opt.Deadline = ctx, 0
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: compile cancelled: %w", err)
+		}
 	}
 
 	an := analysis.New(p)
@@ -333,11 +408,21 @@ func autotune(p *ir.Prog, phases []*analysis.Phase, cands [][]*analysis.Candidat
 	if trace == nil {
 		trace = func(string, ...any) {}
 	}
-	serial := pipeline.NewSerial(p)
-	serialCycles, err := measure(serial, opt, Budget{})
+	jr, err := openJournal(p, opt, "autotune", trace)
 	if err != nil {
-		// The serial program itself fails: nothing to tune against.
-		return nil, fmt.Errorf("core: serial baseline failed training: %w", err)
+		return nil, err
+	}
+	defer jr.close()
+	serial := pipeline.NewSerial(p)
+	serialCycles, replayedSerial := jr.serialCycles()
+	if !replayedSerial {
+		serialCycles, err = measure(serial, opt, Budget{Ctx: opt.Ctx})
+		if err != nil {
+			// The serial program itself fails (or the search was cancelled
+			// before the baseline finished): nothing to tune against.
+			return nil, fmt.Errorf("core: serial baseline failed training: %w", err)
+		}
+		jr.recordSerial(serialCycles)
 	}
 	budget := candidateBudget(serialCycles, opt.BudgetFactor)
 	// The trace deliberately omits the parallelism level: search traces are
@@ -359,6 +444,7 @@ func autotune(p *ir.Prog, phases []*analysis.Phase, cands [][]*analysis.Candidat
 		ReplicateRequested: p.Replicate, Enumerated: len(tasks.tasks),
 		Pruned: pruned, RankMillis: rankMS}
 	s := newSearcher(p, opt, budget, serialCycles)
+	s.ctx, s.journal = opt.Ctx, jr
 	s.run(tasks.tasks, func(t *candTask, f *candFinal) {
 		if !f.dup {
 			pt := SearchPoint{TotalStages: f.stages, Cycles: f.cycles,
@@ -394,6 +480,13 @@ func autotune(p *ir.Prog, phases []*analysis.Phase, cands [][]*analysis.Candidat
 			}
 		}
 	})
+	res.Replayed = jr.replayCount()
+	if opt.Ctx != nil {
+		if cerr := opt.Ctx.Err(); cerr != nil {
+			res.Cancelled, res.CancelCause = true, cerr
+			trace("autotune: search cancelled (%v); returning best-so-far pipeline", cerr)
+		}
+	}
 	return res, nil
 }
 
@@ -459,15 +552,38 @@ func Search(p *ir.Prog, opt Options) (out []SearchPoint, err error) {
 	if opt.Machine.Cores == 0 {
 		opt.Machine = arch.DefaultConfig(1)
 	}
+	ctx, cancel := opt.searchContext()
+	defer cancel()
+	if ctx != nil {
+		opt.Ctx, opt.Deadline = ctx, 0
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("core: search cancelled: %w", cerr)
+		}
+	}
+	trace := opt.Trace
+	if trace == nil {
+		trace = func(string, ...any) {}
+	}
 	an := analysis.New(p)
 	phases := analysis.ProgramPhases(p.Body)
 	cands := make([][]*analysis.Candidate, len(phases))
 	for i, ph := range phases {
 		cands[i] = an.Candidates(ph)
 	}
-	serialCycles, err := measure(pipeline.NewSerial(p), opt, Budget{})
+	// Search's bound sequence starts without an incumbent, so its journal
+	// entries are keyed under a distinct mode and never mix with autotune's.
+	jr, err := openJournal(p, opt, "search", trace)
 	if err != nil {
-		return nil, fmt.Errorf("core: serial baseline failed training: %w", err)
+		return nil, err
+	}
+	defer jr.close()
+	serialCycles, replayedSerial := jr.serialCycles()
+	if !replayedSerial {
+		serialCycles, err = measure(pipeline.NewSerial(p), opt, Budget{Ctx: opt.Ctx})
+		if err != nil {
+			return nil, fmt.Errorf("core: serial baseline failed training: %w", err)
+		}
+		jr.recordSerial(serialCycles)
 	}
 	budget := candidateBudget(serialCycles, opt.BudgetFactor)
 
@@ -481,6 +597,7 @@ func Search(p *ir.Prog, opt Options) (out []SearchPoint, err error) {
 	// Duplicated configurations still yield one point each (the landscape
 	// has one dot per subset), resolved from the memoized original.
 	s := newSearcher(p, opt, budget, noBest)
+	s.ctx, s.journal = opt.Ctx, jr
 	s.run(tasks.tasks, func(t *candTask, f *candFinal) {
 		pt := SearchPoint{TotalStages: f.stages, Subset: t.subset}
 		if f.skip != nil {

@@ -40,6 +40,7 @@ package core
 // candidate at enumeration time (single-threaded, deterministic order).
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -98,6 +99,11 @@ type candOutcome struct {
 	cycles uint64
 	merr   error  // measurement error (nil: measured to completion)
 	bound  uint64 // budget bound the measurement ran under (0: unlimited)
+	// replay is the checkpoint-journal entry this outcome was restored
+	// from (nil: the candidate was actually simulated). A replayed entry
+	// already holds a previous run's finalized verdict, so finalize takes
+	// it verbatim.
+	replay *journalEntry
 }
 
 // candFinal is a merged, deterministic per-candidate result.
@@ -150,6 +156,13 @@ type searcher struct {
 	// finalizes in enumeration order, any value a worker reads is >= the
 	// bound a strictly serial search would use for that candidate.
 	bound atomic.Uint64
+	// ctx, when non-nil, cancels the search: remaining candidates skip
+	// with SkipCancelled instead of being measured (set by autotune/Search
+	// from Options.Ctx/Deadline).
+	ctx context.Context
+	// journal, when non-nil, replays previously recorded measurements and
+	// records new ones (Options.Checkpoint/Resume).
+	journal *journal
 }
 
 func newSearcher(p *ir.Prog, opt Options, base Budget, initialBest uint64) *searcher {
@@ -181,6 +194,13 @@ func (s *searcher) exactBound() uint64 {
 // first read — the loosest value any part of the measurement ran under.
 func (s *searcher) runTask(t *candTask) *candOutcome {
 	o := &candOutcome{seq: t.seq}
+	if s.ctx != nil && s.ctx.Err() != nil {
+		// Cancelled before this candidate was touched: skip without
+		// building (pipe stays nil, so it never counts as searched).
+		o.skip = &CandidateSkip{Phase: t.phase, Subset: t.subset,
+			Reason: SkipCancelled, Err: errCancelled}
+		return o
+	}
 	pipe, skip := t.pipe, t.buildSkip
 	if pipe == nil && skip == nil {
 		pipe, skip = buildCandidate(cloneProg(s.p), t.phase, t.subset, t.points, s.opt)
@@ -199,9 +219,17 @@ func (s *searcher) runTask(t *candTask) *candOutcome {
 			t.predCycles, t.predOK = rep.Predicted, true
 		}
 	}
+	if e, ok := s.journal.lookup(t.fp); ok {
+		// A previous run already finalized this candidate's measurement;
+		// replay the verdict instead of simulating.
+		o.replay = e
+		return o
+	}
+	b := t.budget
+	b.Ctx = s.ctx
 	o.bound = s.bound.Load()
 	first := true
-	o.cycles, o.merr = tryMeasure(pipe, s.opt, t.budget, func() uint64 {
+	o.cycles, o.merr = tryMeasure(pipe, s.opt, b, func() uint64 {
 		if first {
 			first = false
 			return o.bound
@@ -218,6 +246,11 @@ func skipFor(t *candTask, err error) *CandidateSkip {
 	r := classify(err)
 	if r == SkipBudget && errors.Is(err, sim.ErrCycleBudget) {
 		err = errBudget
+	}
+	if r == SkipCancelled {
+		// Cancellation records are canonical too: where exactly a worker
+		// observed the cancel is scheduling noise, not a search result.
+		err = errCancelled
 	}
 	return &CandidateSkip{Phase: t.phase, Subset: t.subset, Reason: r, Err: err}
 }
@@ -249,6 +282,17 @@ func (s *searcher) finalize(t *candTask, o *candOutcome) *candFinal {
 		return &candFinal{skip: o.skip}
 	}
 	f := &candFinal{pipe: o.pipe, stages: o.pipe.TotalStages()}
+	if o.replay != nil {
+		// A journal entry is a previous run's *finalized* verdict for this
+		// candidate, recorded under an identical key — same enumeration
+		// order, same bound sequence — so it is taken verbatim.
+		if o.replay.Reason == "" {
+			f.cycles = o.replay.Cycles
+		} else {
+			f.skip = replaySkip(t, o.replay)
+		}
+		return f
+	}
 	bound := s.exactBound()
 	switch {
 	case o.merr == nil && (bound == 0 || o.cycles < bound):
@@ -256,6 +300,7 @@ func (s *searcher) finalize(t *candTask, o *candOutcome) *candFinal {
 	case o.merr == nil || errors.Is(o.merr, sim.ErrCycleBudget):
 		f.skip = skipFor(t, errBudget)
 	case o.bound == bound,
+		errors.Is(o.merr, sim.ErrCancelled),
 		timingIndependent(o.merr) && o.cycles < bound:
 		f.skip = skipFor(t, o.merr)
 	case bound > 0 && o.cycles >= bound:
@@ -265,6 +310,7 @@ func (s *searcher) finalize(t *candTask, o *candOutcome) *candFinal {
 	default:
 		b := s.base
 		b.Probe, b.TelemetryInterval = nil, 0
+		b.Ctx = s.ctx
 		cycles, err := tryMeasure(o.pipe, s.opt, b, func() uint64 { return bound })
 		if err != nil {
 			f.skip = skipFor(t, err)
@@ -275,14 +321,15 @@ func (s *searcher) finalize(t *candTask, o *candOutcome) *candFinal {
 	return f
 }
 
-// merge updates the branch-and-bound state with a finalized result and
-// memoizes it for duplicates.
+// merge updates the branch-and-bound state with a finalized result,
+// memoizes it for duplicates, and journals its measurement verdict.
 func (s *searcher) merge(memo map[int]*candFinal, t *candTask, f *candFinal) {
 	memo[t.seq] = f
 	if f.skip == nil && f.cycles < s.best {
 		s.best = f.cycles
 		s.bound.Store(s.exactBound())
 	}
+	s.journal.record(t.fp, f)
 }
 
 // dupFinal resolves a duplicate task from the original's memoized result:

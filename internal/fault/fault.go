@@ -19,6 +19,9 @@ import (
 type Plan struct {
 	// Name identifies the plan in test output and CLI flags.
 	Name string
+	// Desc is a one-line human description for plan listings
+	// (`phloemsim -faults list`); it does not affect injection.
+	Desc string
 
 	// QueueDepthCap caps every architectural queue's capacity (it can only
 	// shrink the configured depth, never grow it).
@@ -124,12 +127,18 @@ func (p Plan) Apply(m *sim.Machine) {
 // class hard, plus a kitchen-sink plan combining moderate doses of all.
 func Named() []Plan {
 	return []Plan{
-		{Name: "min-queues", QueueDepthCap: 1},
-		{Name: "narrow-ra", RAWindowCap: 1},
-		{Name: "mem-spikes", MemSpikePeriod: 7, MemSpikeLatency: 150},
-		{Name: "ctrl-delay", CtrlDelayPeriod: 2, CtrlDelayCycles: 24},
-		{Name: "smt-stall", StallPeriod: 37, StallCycles: 11},
-		{Name: "kitchen-sink", QueueDepthCap: 2, RAWindowCap: 2,
+		{Name: "min-queues", Desc: "cap every architectural queue at depth 1",
+			QueueDepthCap: 1},
+		{Name: "narrow-ra", Desc: "cap every RA outstanding-request window at 1",
+			RAWindowCap: 1},
+		{Name: "mem-spikes", Desc: "add 150 latency cycles to every 7th memory access",
+			MemSpikePeriod: 7, MemSpikeLatency: 150},
+		{Name: "ctrl-delay", Desc: "delay every 2nd control value by 24 cycles",
+			CtrlDelayPeriod: 2, CtrlDelayCycles: 24},
+		{Name: "smt-stall", Desc: "stall each SMT thread 11 of every 37 cycles, phase-shifted",
+			StallPeriod: 37, StallCycles: 11},
+		{Name: "kitchen-sink", Desc: "moderate doses of all five perturbation classes at once",
+			QueueDepthCap: 2, RAWindowCap: 2,
 			MemSpikePeriod: 5, MemSpikeLatency: 90,
 			CtrlDelayPeriod: 3, CtrlDelayCycles: 9,
 			StallPeriod: 29, StallCycles: 7},
@@ -144,6 +153,7 @@ func New(seed uint64) Plan {
 	next := func() uint64 { return splitmix64(&s) }
 	return Plan{
 		Name:            fmt.Sprintf("seed-%d", seed),
+		Desc:            fmt.Sprintf("pseudo-random perturbation mix expanded from seed %d", seed),
 		QueueDepthCap:   1 + int(next()%6),
 		RAWindowCap:     1 + int(next()%4),
 		MemSpikePeriod:  3 + next()%13,

@@ -21,11 +21,17 @@ import (
 //	                 terminates within budget)
 //	ErrTrap        — a functional trap: out-of-bounds access, division by
 //	                 zero, or a queue-protocol violation
+//	ErrCancelled   — the run was cancelled cooperatively through
+//	                 Machine.Ctx (carries the context's cause)
+//	ErrWallBudget  — the run exceeded the wall-clock deadline set via
+//	                 Machine.WallDeadline
 var (
 	ErrDeadlock    = errors.New("sim: deadlock")
 	ErrCycleBudget = errors.New("sim: cycle budget exceeded")
 	ErrTraceLimit  = errors.New("sim: trace limit exceeded")
 	ErrTrap        = errors.New("sim: functional trap")
+	ErrCancelled   = errors.New("sim: cancelled")
+	ErrWallBudget  = errors.New("sim: wall-clock budget exceeded")
 )
 
 // QueueWait is one queue's occupancy in a wait-for snapshot.
@@ -180,6 +186,53 @@ func (e *TraceLimitError) Error() string {
 }
 
 func (e *TraceLimitError) Is(target error) bool { return target == ErrTraceLimit }
+
+// CancelledError reports that the run was aborted because Machine.Ctx was
+// cancelled. The context poll is amortized (see interruptCheckPeriod), so
+// Cycles records where the abort was observed, not where cancellation was
+// requested. Stats holds the partial timing statistics accumulated up to
+// the abort point (nil for functional-phase aborts).
+type CancelledError struct {
+	// Phase is "functional" or "timing".
+	Phase string
+	// Cycles is the simulated cycle at the abort (0 for functional aborts).
+	Cycles uint64
+	// Cause is the context's Err(): context.Canceled or
+	// context.DeadlineExceeded.
+	Cause error
+	Stats *Stats
+}
+
+func (e *CancelledError) Error() string {
+	if e.Phase == "timing" {
+		return fmt.Sprintf("sim: cancelled during timing phase at cycle %d: %v", e.Cycles, e.Cause)
+	}
+	return fmt.Sprintf("sim: cancelled during %s phase: %v", e.Phase, e.Cause)
+}
+
+func (e *CancelledError) Is(target error) bool { return target == ErrCancelled }
+
+func (e *CancelledError) Unwrap() error { return e.Cause }
+
+// WallBudgetError reports that the run exceeded Machine.WallDeadline — the
+// wall-clock analogue of CycleBudgetError. Stats holds the partial timing
+// statistics accumulated up to the abort (nil for functional-phase aborts).
+type WallBudgetError struct {
+	// Phase is "functional" or "timing".
+	Phase string
+	// Cycles is the simulated cycle at the abort (0 for functional aborts).
+	Cycles uint64
+	Stats  *Stats
+}
+
+func (e *WallBudgetError) Error() string {
+	if e.Phase == "timing" {
+		return fmt.Sprintf("sim: wall-clock budget exceeded during timing phase at cycle %d", e.Cycles)
+	}
+	return fmt.Sprintf("sim: wall-clock budget exceeded during %s phase", e.Phase)
+}
+
+func (e *WallBudgetError) Is(target error) bool { return target == ErrWallBudget }
 
 // TrapError reports a functional trap with the faulting stage and pc.
 type TrapError struct {

@@ -149,7 +149,13 @@ func (m *Machine) RunFunctional() (ts *TraceSet, err error) {
 		e.ras = append(e.ras, &fRA{spec: i})
 	}
 
+	interruptible := m.interruptible()
 	for {
+		if interruptible {
+			if err := m.checkInterrupt("functional", 0); err != nil {
+				return nil, err
+			}
+		}
 		progress := false
 		allHalted := true
 		for _, t := range e.threads {

@@ -17,7 +17,9 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"phloem/internal/arch"
 	"phloem/internal/isa"
@@ -66,6 +68,18 @@ type Machine struct {
 	// probe costs one pointer test per instrumentation point and leaves
 	// Stats bit-identical; probes never influence timing decisions.
 	Probe Probe
+
+	// Ctx, when non-nil, is polled cooperatively at amortized intervals
+	// during both simulation phases; once cancelled, Run aborts with a
+	// *CancelledError. A nil (or never-cancelled) context leaves behavior
+	// and Stats bit-identical: the poll reads wall state only and never
+	// influences simulation decisions.
+	Ctx context.Context
+
+	// WallDeadline, when nonzero, aborts the run with a *WallBudgetError
+	// once wall-clock time passes it — the wall analogue of
+	// Cfg.CycleBudget. Polled on the same amortized schedule as Ctx.
+	WallDeadline time.Time
 }
 
 // NewMachine creates a machine with the given configuration and an empty

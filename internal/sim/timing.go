@@ -258,11 +258,21 @@ func (m *Machine) RunTiming(ts *TraceSet) (*Stats, error) {
 	}
 
 	if err := e.run(); err != nil {
-		// On a budget abort, attach the partial stats accumulated so far so
-		// the caller can still see how the aborted run spent its cycles.
-		if be, ok := err.(*CycleBudgetError); ok {
+		// On a budget, cancellation, or wall-deadline abort, attach the
+		// partial stats accumulated so far so the caller can still see how
+		// the aborted run spent its cycles.
+		var partial **Stats
+		switch te := err.(type) {
+		case *CycleBudgetError:
+			partial = &te.Stats
+		case *CancelledError:
+			partial = &te.Stats
+		case *WallBudgetError:
+			partial = &te.Stats
+		}
+		if partial != nil {
 			e.finishStats()
-			be.Stats = &e.stats
+			*partial = &e.stats
 			if e.probe != nil {
 				e.probe.EndTiming(&e.stats)
 			}
@@ -300,9 +310,17 @@ func (e *timingEngine) run() error {
 		idleLimit = defaultIdleLimit
 	}
 	budget := e.m.Cfg.CycleBudget
+	interruptible := e.m.interruptible()
+	nextInterruptCheck := uint64(0)
 	for {
 		if budget != 0 && e.now >= budget {
 			return &CycleBudgetError{Budget: budget, Cycles: e.now}
+		}
+		if interruptible && e.now >= nextInterruptCheck {
+			if err := e.m.checkInterrupt("timing", e.now); err != nil {
+				return err
+			}
+			nextInterruptCheck = e.now + interruptCheckPeriod
 		}
 		if e.probe != nil && e.sampleEvery != 0 && e.now >= e.sampleAt {
 			e.emitSample()
