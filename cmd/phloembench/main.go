@@ -18,7 +18,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: table3|table4|table5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|ablations|chaos|telemetry|search|interrupt|all")
+		"experiment: table3|table4|table5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|ablations|chaos|telemetry|search|interrupt|commopt|all")
 	scale := flag.String("scale", "test", "input scale: test|full")
 	verbose := flag.Bool("v", false, "print per-input rows")
 	chaosSeeds := flag.Int("chaos-seeds", 4, "seeded fault plans to add to the chaos sweep (beyond the named plans)")
@@ -26,6 +26,8 @@ func main() {
 		"autotune/search worker parallelism (0 = GOMAXPROCS, 1 = serial; results are identical for every value)")
 	searchOut := flag.String("search-out", "BENCH_search.json",
 		"output path for the -exp search report")
+	commOptOut := flag.String("commopt-out", "BENCH_commopt.json",
+		"output path for the -exp commopt report")
 	topK := flag.Int("topk", 0,
 		"with -exp search: K for the static rank-and-prune leg (0 = default 5)")
 	flag.Parse()
@@ -83,6 +85,11 @@ func main() {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *searchOut)
+		case "commopt":
+			if err := bench.CommOptJSON(cfg, *commOptOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *commOptOut)
 		case "all":
 			return bench.All(cfg)
 		default:

@@ -167,6 +167,28 @@ func (r RASpec) String() string {
 type QueueSpec struct {
 	Name  string
 	Depth int // 0 means the machine default
+	// DepthByPass marks Depth as assigned by a compiler pass rather than a
+	// user override. The verifier reports pass-assigned undersizing under a
+	// different rule (W2) than user-set depths (W1).
+	DepthByPass bool
+}
+
+// FanOut declares a hardware multicast: every data value enqueued to Src is
+// also delivered to each queue in Dst, in the same order. Control-tagged
+// entries are not duplicated — Dst queues carry a pure data stream. The
+// commopt pass emits these to replace duplicate producer-side sends of the
+// same value stream with a single send.
+type FanOut struct {
+	Src int
+	Dst []int
+}
+
+func (f FanOut) String() string {
+	s := fmt.Sprintf("fanout q%d ->", f.Src)
+	for _, d := range f.Dst {
+		s += fmt.Sprintf(" q%d", d)
+	}
+	return s
 }
 
 // ThreadID identifies one hardware thread.

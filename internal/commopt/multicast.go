@@ -1,0 +1,268 @@
+package commopt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"phloem/internal/arch"
+	"phloem/internal/costmodel"
+	"phloem/internal/ir"
+	"phloem/internal/pipeline"
+)
+
+// The multicast rewrite finds producer code that enqueues the same value to
+// several queues back-to-back — a broadcast written as N sends — and replaces
+// it with one send plus an arch.FanOut spec the hardware expands. Detection is
+// purely syntactic over the stage IR: a *run* is a maximal sequence of
+// consecutive *ir.Enq statements in one statement list that all enqueue the
+// same operand; the run's *group* is its set of target queues.
+//
+// A group S (|S| >= 2) is rewritable only when it is unambiguous and legal:
+//
+//   - exclusivity: every queue in S appears only in runs whose group is
+//     exactly S. A queue that also receives a lone send (singleton run) or
+//     participates in a different broadcast shape cannot be a fan-out
+//     endpoint, because deleting its sends would drop that other traffic.
+//   - one stage: all of S's runs sit in a single stage, so the fan-out has a
+//     single producer to price and verify.
+//   - no RA ports: no queue in S is an RA output (the RA owns that stream),
+//     and none already participates in a fan-out.
+//
+// The smallest queue id in S becomes the fan-out source (a deterministic
+// choice; the duplicated values are identical, so any member works); the
+// remaining members become destinations whose Enq statements are deleted.
+// Control tokens (EnqCtrl) are not duplicated and keep their explicit sends.
+//
+// Pricing: the hardware still writes one physical entry per destination, so
+// data movement is unchanged; what each destination saves is the producer's
+// issue slot for the deleted send — QueueOp cycles per duplicated token, with
+// the token rate taken from the cost model's pre-rewrite traffic plan.
+func rewriteMulticast(pl *pipeline.Pipeline, cfg arch.Config, plan *Plan) error {
+	type runInfo struct {
+		stage int
+		key   string
+		qs    []int
+	}
+	var runs []runInfo
+	// keys[q] is the set of group keys queue q's enqueues appear under; a
+	// queue is rewritable only if it has exactly one key.
+	keys := make([]map[string]bool, len(pl.Queues))
+	poison := make([]bool, len(pl.Queues))
+	note := func(q int, key string) {
+		if keys[q] == nil {
+			keys[q] = map[string]bool{}
+		}
+		keys[q][key] = true
+	}
+
+	var scan func(stage int, body []ir.Stmt)
+	scan = func(stage int, body []ir.Stmt) {
+		i := 0
+		for i < len(body) {
+			if e, ok := body[i].(*ir.Enq); ok {
+				j := i
+				var qs []int
+				dup := false
+				for j < len(body) {
+					n, ok := body[j].(*ir.Enq)
+					if !ok || n.Val != e.Val {
+						break
+					}
+					for _, q := range qs {
+						if q == n.Q {
+							dup = true
+						}
+					}
+					qs = append(qs, n.Q)
+					j++
+				}
+				sorted := append([]int(nil), qs...)
+				sort.Ints(sorted)
+				key := groupKey(sorted)
+				for _, q := range qs {
+					note(q, key)
+					if dup {
+						// The same queue twice in one run: deleting a send
+						// would change its token count. Never rewrite it.
+						poison[q] = true
+					}
+				}
+				if len(sorted) >= 2 {
+					runs = append(runs, runInfo{stage: stage, key: key, qs: sorted})
+				}
+				i = j
+				continue
+			}
+			switch s := body[i].(type) {
+			case *ir.If:
+				scan(stage, s.Then)
+				scan(stage, s.Else)
+			case *ir.Loop:
+				scan(stage, s.Pre)
+				scan(stage, s.Body)
+			}
+			i++
+		}
+	}
+	for si, st := range pl.Stages {
+		scan(si, st.Body)
+	}
+	if len(runs) == 0 {
+		return nil
+	}
+
+	raOut := make([]bool, len(pl.Queues))
+	for _, ra := range pl.RAs {
+		if ra.OutQ >= 0 && ra.OutQ < len(pl.Queues) {
+			raOut[ra.OutQ] = true
+		}
+	}
+	inFan := make([]bool, len(pl.Queues))
+	for _, f := range pl.FanOuts {
+		if f.Src >= 0 && f.Src < len(pl.Queues) {
+			inFan[f.Src] = true
+		}
+		for _, d := range f.Dst {
+			if d >= 0 && d < len(pl.Queues) {
+				inFan[d] = true
+			}
+		}
+	}
+
+	// Decide which groups are rewritable and count their sites.
+	type groupInfo struct {
+		stage int
+		qs    []int
+		runs  int
+	}
+	groups := map[string]*groupInfo{}
+	var order []string
+	for _, r := range runs {
+		gi := groups[r.key]
+		if gi == nil {
+			gi = &groupInfo{stage: r.stage, qs: r.qs}
+			groups[r.key] = gi
+			order = append(order, r.key)
+		}
+		gi.runs++
+		if r.stage != gi.stage {
+			gi.stage = -1 // spans stages: not rewritable
+		}
+	}
+	valid := map[string]bool{}
+	for _, key := range order {
+		gi := groups[key]
+		ok := gi.stage >= 0
+		for _, q := range gi.qs {
+			if poison[q] || raOut[q] || inFan[q] || len(keys[q]) != 1 {
+				ok = false
+			}
+		}
+		if ok {
+			valid[key] = true
+		}
+	}
+	if len(valid) == 0 {
+		return nil
+	}
+
+	// Price against the pre-rewrite traffic plan (the deleted sends' rates).
+	pre, err := costmodel.Analyze(pl, cfg)
+	if err != nil {
+		return fmt.Errorf("commopt: pricing multicast: %w", err)
+	}
+	qdata := make([]float64, len(pl.Queues))
+	for _, qp := range pre.Queues {
+		qdata[qp.ID] = qp.Data
+	}
+	queueOp := costmodel.DefaultParams().QueueOp
+
+	// Rewrite: re-walk each statement list; inside a run of a valid group,
+	// keep only the source's Enq.
+	var rewrite func(body []ir.Stmt) []ir.Stmt
+	rewrite = func(body []ir.Stmt) []ir.Stmt {
+		out := make([]ir.Stmt, 0, len(body))
+		i := 0
+		for i < len(body) {
+			if e, ok := body[i].(*ir.Enq); ok {
+				j := i
+				var members []*ir.Enq
+				var qs []int
+				for j < len(body) {
+					n, ok := body[j].(*ir.Enq)
+					if !ok || n.Val != e.Val {
+						break
+					}
+					members = append(members, n)
+					qs = append(qs, n.Q)
+					j++
+				}
+				sort.Ints(qs)
+				if valid[groupKey(qs)] {
+					src := qs[0]
+					for _, m := range members {
+						if m.Q == src {
+							out = append(out, m)
+						}
+					}
+				} else {
+					for _, m := range members {
+						out = append(out, m)
+					}
+				}
+				i = j
+				continue
+			}
+			switch s := body[i].(type) {
+			case *ir.If:
+				s.Then = rewrite(s.Then)
+				s.Else = rewrite(s.Else)
+			case *ir.Loop:
+				s.Pre = rewrite(s.Pre)
+				s.Body = rewrite(s.Body)
+			}
+			out = append(out, body[i])
+			i++
+		}
+		return out
+	}
+	for _, st := range pl.Stages {
+		st.Body = rewrite(st.Body)
+	}
+
+	for _, key := range order {
+		if !valid[key] {
+			continue
+		}
+		gi := groups[key]
+		src := gi.qs[0]
+		fo := arch.FanOut{Src: src}
+		for _, d := range gi.qs[1:] {
+			fo.Dst = append(fo.Dst, d)
+			plan.FanOuts = append(plan.FanOuts, FanOutPlan{
+				Src:     src,
+				Dst:     d,
+				SrcName: pl.Queues[src].Name,
+				DstName: pl.Queues[d].Name,
+				Stage:   pl.Stages[gi.stage].Name,
+				Sites:   gi.runs,
+				Tokens:  qdata[d],
+				Saved:   qdata[d] * queueOp,
+			})
+		}
+		pl.FanOuts = append(pl.FanOuts, fo)
+	}
+	return nil
+}
+
+func groupKey(sorted []int) string {
+	var sb strings.Builder
+	for i, q := range sorted {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", q)
+	}
+	return sb.String()
+}

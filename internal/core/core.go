@@ -13,6 +13,7 @@ import (
 
 	"phloem/internal/analysis"
 	"phloem/internal/arch"
+	"phloem/internal/commopt"
 	"phloem/internal/effects"
 	"phloem/internal/ir"
 	"phloem/internal/lower"
@@ -79,6 +80,13 @@ type Options struct {
 	TopK int
 	// Trace receives search progress lines (optional).
 	Trace func(format string, args ...any)
+	// CommOpt enables the static queue-communication optimization pass
+	// (internal/commopt) on every built pipeline, including each autotune
+	// candidate: inferred per-queue capacities are applied (never touching
+	// explicit author depths, never exceeding Machine.QueueDepth) and
+	// duplicate multicast sends are rewritten into hardware fan-out specs.
+	// Off by default; compiled output is bit-identical when off.
+	CommOpt bool
 	// SkipVerify disables the static pipeline verifier that otherwise
 	// rejects structurally broken pipelines before they reach a simulator
 	// (use it to inspect or lint a deliberately broken build).
@@ -366,9 +374,15 @@ func buildStatic(p *ir.Prog, cands [][]*analysis.Candidate, opt Options) (*Resul
 	return &Result{Pipeline: pipe, Prog: p, ReplicateRequested: p.Replicate}, nil
 }
 
-// finishPipeline applies the PostBuild hook and, unless SkipVerify is set,
-// rejects pipelines the static verifier finds broken.
+// finishPipeline runs the communication optimization pass (when enabled),
+// applies the PostBuild hook, and, unless SkipVerify is set, rejects
+// pipelines the static verifier finds broken.
 func finishPipeline(pipe *pipeline.Pipeline, opt Options) error {
+	if opt.CommOpt {
+		if _, err := commopt.Apply(pipe, opt.Machine, commopt.Options{Capacities: true, Multicast: true}); err != nil {
+			return fmt.Errorf("core: commopt %q: %w", pipe.Prog.Name, err)
+		}
+	}
 	if opt.PostBuild != nil {
 		opt.PostBuild(pipe)
 	}

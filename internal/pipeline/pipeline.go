@@ -31,6 +31,11 @@ type Queue struct {
 	Name string
 	// Depth overrides the machine default when > 0.
 	Depth int
+	// DepthByPass marks Depth as assigned by a compiler pass (commopt)
+	// rather than set explicitly by the pipeline author. Passes must never
+	// override a user-set depth, and the verifier distinguishes the two
+	// when reporting undersized queues (W1 user-set vs W2 pass-assigned).
+	DepthByPass bool
 }
 
 // Pipeline is a compiled kernel: stages, queues, and reference accelerators
@@ -40,6 +45,10 @@ type Pipeline struct {
 	Stages []*Stage
 	Queues []Queue
 	RAs    []arch.RASpec
+	// FanOuts lists hardware multicast specs: data values enqueued to Src
+	// are also delivered to every Dst queue. Emitted by the commopt
+	// multicast rewrite; empty for all other pipelines.
+	FanOuts []arch.FanOut
 	// Description summarizes how the pipeline was derived (for reports).
 	Description string
 }
@@ -81,6 +90,9 @@ func (pl *Pipeline) Describe() string {
 	}
 	for _, ra := range pl.RAs {
 		fmt.Fprintf(&sb, "  %s\n", ra.String())
+	}
+	for _, f := range pl.FanOuts {
+		fmt.Fprintf(&sb, "  %s\n", f.String())
 	}
 	return sb.String()
 }
@@ -148,7 +160,10 @@ func Instantiate(pl *Pipeline, cfg arch.Config, b Bindings) (*Instance, error) {
 		inst.Arrays[slot.Name] = a
 	}
 	for _, q := range pl.Queues {
-		m.Queues = append(m.Queues, arch.QueueSpec{Name: q.Name, Depth: q.Depth})
+		m.Queues = append(m.Queues, arch.QueueSpec{Name: q.Name, Depth: q.Depth, DepthByPass: q.DepthByPass})
+	}
+	for _, f := range pl.FanOuts {
+		m.FanOuts = append(m.FanOuts, arch.FanOut{Src: f.Src, Dst: append([]int(nil), f.Dst...)})
 	}
 	for _, ra := range pl.RAs {
 		m.AddRA(ra)

@@ -68,7 +68,14 @@ func Replicate(pl *Pipeline, replicas int, shared []string,
 	for r := 0; r < replicas; r++ {
 		qBase := len(out.Queues)
 		for _, q := range pl.Queues {
-			out.Queues = append(out.Queues, Queue{Name: fmt.Sprintf("r%d.%s", r, q.Name), Depth: q.Depth})
+			out.Queues = append(out.Queues, Queue{Name: fmt.Sprintf("r%d.%s", r, q.Name), Depth: q.Depth, DepthByPass: q.DepthByPass})
+		}
+		for _, f := range pl.FanOuts {
+			c := arch.FanOut{Src: f.Src + qBase}
+			for _, d := range f.Dst {
+				c.Dst = append(c.Dst, d+qBase)
+			}
+			out.FanOuts = append(out.FanOuts, c)
 		}
 		for _, ra := range pl.RAs {
 			c := ra

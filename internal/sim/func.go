@@ -102,8 +102,11 @@ type funcEngine struct {
 	threads []*fThread
 	queues  []*fQueue
 	ras     []*fRA
-	total   uint64
-	cap     uint64
+	// fan maps a queue id to the fan-out destinations every data enqueue
+	// into it is duplicated to (nil for ordinary queues).
+	fan   [][]int
+	total uint64
+	cap   uint64
 }
 
 // RunFunctional executes the machine's programs to completion and returns the
@@ -147,6 +150,12 @@ func (m *Machine) RunFunctional() (ts *TraceSet, err error) {
 	}
 	for i := range m.RAs {
 		e.ras = append(e.ras, &fRA{spec: i})
+	}
+	if len(m.FanOuts) > 0 {
+		e.fan = make([][]int, len(m.Queues))
+		for _, f := range m.FanOuts {
+			e.fan[f.Src] = f.Dst
+		}
 	}
 
 	interruptible := m.interruptible()
@@ -398,6 +407,11 @@ func (e *funcEngine) runThread(t *fThread, max int) (int, error) {
 
 		case isa.OpEnq:
 			e.queues[in.Q].push(t.regs[in.A])
+			if e.fan != nil {
+				for _, d := range e.fan[in.Q] {
+					e.queues[d].push(t.regs[in.A])
+				}
+			}
 		case isa.OpEnqCtrl:
 			e.queues[in.Q].push(CtrlVal(in.Imm))
 			entry.Flags |= FlagCtrlDeq

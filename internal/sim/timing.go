@@ -126,6 +126,10 @@ type timingEngine struct {
 	qConsumer  []*tThread
 	qProducers [][]*tThread
 
+	// fan[q] lists the fan-out destinations a data enqueue into q is
+	// duplicated to (nil for ordinary queues, nil slice when no fanouts).
+	fan [][]int
+
 	// mshrs[core] holds the completion times of outstanding L1 misses.
 	mshrs [][]uint64
 
@@ -214,6 +218,12 @@ func (m *Machine) RunTiming(ts *TraceSet) (*Stats, error) {
 	for q := range m.Queues {
 		e.queues = append(e.queues, &tQueue{cap: m.queueCap(q)})
 	}
+	if len(m.FanOuts) > 0 {
+		e.fan = make([][]int, len(m.Queues))
+		for _, f := range m.FanOuts {
+			e.fan[f.Src] = f.Dst
+		}
+	}
 	e.ctrlN = make([]uint64, len(m.Queues))
 	for i, spec := range m.RAs {
 		ra := &tRA{
@@ -242,6 +252,23 @@ func (m *Machine) RunTiming(ts *TraceSet) (*Stats, error) {
 				}
 				if !dup {
 					e.qProducers[in.Q] = append(e.qProducers[in.Q], t)
+				}
+			}
+		}
+	}
+	// A fanned enqueue blocks on its destinations too, so draining a dst
+	// must wake the src's producers.
+	for _, f := range m.FanOuts {
+		for _, d := range f.Dst {
+			for _, p := range e.qProducers[f.Src] {
+				dup := false
+				for _, q := range e.qProducers[d] {
+					if q == p {
+						dup = true
+					}
+				}
+				if !dup {
+					e.qProducers[d] = append(e.qProducers[d], p)
 				}
 			}
 		}
@@ -996,6 +1023,15 @@ func (e *timingEngine) checkIssue(t *tThread, en *winEntry) (ready, blockQ, bloc
 			if q.len() >= q.cap {
 				return false, true, false
 			}
+			// A fanned data enqueue writes every destination in the same
+			// cycle, so it needs space in all of them (all-or-nothing).
+			if in.Op == isa.OpEnq && e.fan != nil {
+				for _, d := range e.fan[in.Q] {
+					if dq := e.queues[d]; dq.len() >= dq.cap {
+						return false, true, false
+					}
+				}
+			}
 		case isa.OpDeq, isa.OpPeek:
 			if q.len() == 0 || q.headReady() > e.now {
 				return false, true, false
@@ -1041,6 +1077,19 @@ func (e *timingEngine) tryIssue(t *tThread, en *winEntry) (ok, blockQ, blockMem 
 		done = e.now + 1
 		if e.probe != nil {
 			e.probe.QueueLen(in.Q, e.queues[in.Q].len(), e.now)
+		}
+		if e.fan != nil {
+			// Duplicate the value into each fan-out destination: one issue
+			// slot, but one physical queue write (and one energy event) per
+			// destination.
+			for _, d := range e.fan[in.Q] {
+				e.queues[d].push(e.now + 1)
+				e.wakeConsumer(d)
+				e.queueOps++
+				if e.probe != nil {
+					e.probe.QueueLen(d, e.queues[d].len(), e.now)
+				}
+			}
 		}
 	case isa.OpEnqCtrl, isa.OpEnqCtrlV:
 		// Control values may be delivered late under fault injection; the
