@@ -568,3 +568,149 @@ func TestPhloembenchTables(t *testing.T) {
 		t.Errorf("table5 output:\n%s", out5)
 	}
 }
+
+// TestPhloemcSearchObservability drives the opt-in search observability
+// flags: -search-stats prints the metrics table, -search-trace writes
+// well-formed Chrome trace JSON whose candidate spans carry fingerprints,
+// and -progress draws a live line ending in a summary. With no flags set,
+// none of that output appears.
+func TestPhloemcSearchObservability(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "search.json")
+	cmd := exec.Command(filepath.Join(binDir, "phloemc"),
+		"-autotune", "BFS", "-j", "4", "-topk", "5",
+		"-progress", "-search-stats", "-search-trace", trace)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("phloemc observability run: %v\n%s%s", err, stdout.String(), stderr.String())
+	}
+	for _, want := range []string{
+		"search metrics (autotune)",
+		"candidates:", "verdicts:", "phase", "train",
+		"search trace: wrote",
+	} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("-search-stats output missing %q:\n%s", want, stdout.String())
+		}
+	}
+	for _, want := range []string{"serial baseline", "done —", "measured"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("-progress stderr missing %q:\n%s", want, stderr.String())
+		}
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Cat  string         `json:"cat"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("search trace is not valid JSON: %v", err)
+	}
+	workers, cands := 0, 0
+	for _, e := range tr.TraceEvents {
+		if e.Pid != 1 {
+			t.Fatalf("search trace event outside pid 1: %+v", e)
+		}
+		if e.Ph == "M" && e.Name == "thread_name" {
+			workers++
+		}
+		if e.Cat == "candidate" {
+			cands++
+			if _, ok := e.Args["fp"]; !ok {
+				t.Errorf("candidate span without fp args: %+v", e)
+			}
+		}
+	}
+	if workers < 5 { // merger + 4 pool workers
+		t.Errorf("want >=5 worker tracks, got %d", workers)
+	}
+	if cands == 0 {
+		t.Error("no candidate spans in search trace")
+	}
+
+	// The plain run carries none of the observability output.
+	plain := run(t, "phloemc", "-autotune", "BFS", "-topk", "5")
+	if strings.Contains(plain, "search metrics") || strings.Contains(plain, "search trace") {
+		t.Errorf("observability output without its flags:\n%s", plain)
+	}
+}
+
+// TestTacocStats: -stats on the static flow prints the compile-phase
+// metrics table.
+func TestTacocStats(t *testing.T) {
+	out := run(t, "tacoc", "-pipeline", "-stats", "spmv")
+	for _, want := range []string{"search metrics (static)", "build", "verify"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tacoc -stats output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(run(t, "tacoc", "-pipeline", "spmv"), "search metrics") {
+		t.Error("tacoc without -stats should not print metrics")
+	}
+}
+
+// TestPhloembenchBenchdiff drives the regression gate's file mode against
+// the committed commopt report: self-diff passes, an injected cycles
+// regression beyond threshold exits 3, and widening the threshold
+// clears it.
+func TestPhloembenchBenchdiff(t *testing.T) {
+	committed := "../BENCH_commopt.json"
+	data, err := os.ReadFile(committed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	leg := rep["benchmarks"].([]any)[0].(map[string]any)["legs"].([]any)[0].(map[string]any)
+	leg["cycles"] = float64(int64(leg["cycles"].(float64) * 1.5))
+	tampered, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := filepath.Join(t.TempDir(), "tampered.json")
+	if err := os.WriteFile(tf, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	exitCode := func(args ...string) (int, string) {
+		t.Helper()
+		out, err := exec.Command(filepath.Join(binDir, "phloembench"), args...).CombinedOutput()
+		if err == nil {
+			return 0, string(out)
+		}
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("phloembench %v: %v\n%s", args, err, out)
+		}
+		return ee.ExitCode(), string(out)
+	}
+
+	if code, out := exitCode("-benchdiff", committed, committed); code != 0 ||
+		!strings.Contains(out, "ok: no metric changes") {
+		t.Errorf("self-diff should exit 0 clean, got %d:\n%s", code, out)
+	}
+	code, out := exitCode("-benchdiff", committed, tf)
+	if code != 3 || !strings.Contains(out, "REGRESSION") {
+		t.Errorf("+50%% cycles should exit 3 with a REGRESSION line, got %d:\n%s", code, out)
+	}
+	if code, out := exitCode("-benchdiff", "-cycles-tol", "60", committed, tf); code != 0 {
+		t.Errorf("+50%% within -cycles-tol 60 should exit 0, got %d:\n%s", code, out)
+	}
+	// Mixed report kinds are a usage-level error (1), not a regression.
+	if code, _ := exitCode("-benchdiff", committed, "../BENCH_search.json"); code != 1 {
+		t.Errorf("mixed-kind diff should exit 1, got %d", code)
+	}
+	if code, _ := exitCode("-benchdiff", committed); code != 2 {
+		t.Errorf("-benchdiff with one argument should exit 2, got %d", code)
+	}
+}

@@ -1,10 +1,18 @@
 // Command phloembench regenerates the paper's tables and figures on the
 // simulated Pipette machine with the synthetic input suite.
 //
+// -exp compare is the benchmark regression gate: it re-runs the search and
+// commopt suites at the committed BENCH_*.json reports' scale/topk and diffs
+// the fresh counts and simulator cycles against them (never wall time, which
+// is host-dependent). Any metric beyond threshold exits 3. -benchdiff diffs
+// two already-written report files the same way without running anything.
+//
 // Usage:
 //
 //	phloembench -exp all
 //	phloembench -exp fig9 -scale full -v
+//	phloembench -exp compare -j 4
+//	phloembench -benchdiff BENCH_search.json fresh.json
 package main
 
 import (
@@ -18,19 +26,42 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: table3|table4|table5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|ablations|chaos|telemetry|search|interrupt|commopt|all")
+		"experiment: table3|table4|table5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|ablations|chaos|telemetry|search|interrupt|commopt|compare|all")
 	scale := flag.String("scale", "test", "input scale: test|full")
 	verbose := flag.Bool("v", false, "print per-input rows")
 	chaosSeeds := flag.Int("chaos-seeds", 4, "seeded fault plans to add to the chaos sweep (beyond the named plans)")
 	parallel := flag.Int("j", 0,
 		"autotune/search worker parallelism (0 = GOMAXPROCS, 1 = serial; results are identical for every value)")
 	searchOut := flag.String("search-out", "BENCH_search.json",
-		"output path for the -exp search report")
+		"output path for the -exp search report (for -exp compare: the committed report to diff against; \"\" skips it)")
 	commOptOut := flag.String("commopt-out", "BENCH_commopt.json",
-		"output path for the -exp commopt report")
+		"output path for the -exp commopt report (for -exp compare: the committed report to diff against; \"\" skips it)")
 	topK := flag.Int("topk", 0,
 		"with -exp search: K for the static rank-and-prune leg (0 = default 5)")
+	benchdiff := flag.Bool("benchdiff", false,
+		"diff two BENCH report files (old new) with the regression thresholds and exit 3 on regression; no benchmarks are run")
+	cyclesTol := flag.Float64("cycles-tol", bench.DefaultDiffOptions().CyclesTolPct,
+		"compare/benchdiff: allowed cycle/stall increase in percent before a metric counts as a regression")
+	countTol := flag.Int("count-tol", bench.DefaultDiffOptions().CountTol,
+		"compare/benchdiff: allowed absolute drift on count metrics (0 = counts must match exactly)")
 	flag.Parse()
+
+	diffOpt := bench.DiffOptions{CyclesTolPct: *cyclesTol, CountTol: *countTol}
+	if *benchdiff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: phloembench -benchdiff [-cycles-tol P] [-count-tol N] old.json new.json")
+			os.Exit(2)
+		}
+		findings, err := bench.DiffReportFiles(os.Stdout, flag.Arg(0), flag.Arg(1), diffOpt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phloembench:", err)
+			os.Exit(1)
+		}
+		if len(bench.Regressions(findings)) > 0 {
+			os.Exit(3)
+		}
+		return
+	}
 
 	cfg := bench.Config{Scale: workloads.ScaleTest, Out: os.Stdout, Verbose: *verbose,
 		Parallelism: *parallel, TopK: *topK}
@@ -90,6 +121,15 @@ func main() {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *commOptOut)
+		case "compare":
+			findings, err := bench.Compare(cfg, *searchOut, *commOptOut, diffOpt)
+			if err != nil {
+				return err
+			}
+			if n := len(bench.Regressions(findings)); n > 0 {
+				fmt.Fprintf(os.Stderr, "phloembench: %d metric(s) regressed beyond threshold\n", n)
+				os.Exit(3)
+			}
 		case "all":
 			return bench.All(cfg)
 		default:

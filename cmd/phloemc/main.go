@@ -38,6 +38,13 @@
 // journal left by an interrupted run, reproducing the uninterrupted result
 // byte-identically without re-simulating finished candidates.
 //
+// The search itself is observable (internal/obs), strictly opt-in:
+// -progress draws a live measured/remaining/ETA line on stderr, -search-stats
+// prints per-phase wall-time and candidate-lifecycle metrics after the run,
+// and -search-trace writes the whole search as Chrome trace_event JSON (one
+// track per worker, per-candidate phase spans). With none of these flags the
+// Observer stays nil and the search output is bit-identical.
+//
 // Usage:
 //
 //	phloemc kernel.c
@@ -46,6 +53,7 @@
 //	phloemc -effects kernel.c
 //	phloemc -cost kernel.c
 //	phloemc -autotune BFS -j 4 -topk 5
+//	phloemc -autotune BFS -progress -search-stats -search-trace search.json
 //	phloemc -autotune BFS -timeout 30s -checkpoint bfs.ckpt
 //	phloemc -autotune BFS -checkpoint bfs.ckpt -resume
 package main
@@ -66,6 +74,7 @@ import (
 	"phloem/internal/costmodel"
 	"phloem/internal/effects"
 	"phloem/internal/ir"
+	"phloem/internal/obs"
 	"phloem/internal/passes"
 	"phloem/internal/pipeline"
 	"phloem/internal/source"
@@ -94,6 +103,9 @@ type autotuneFlags struct {
 	timeout                    time.Duration
 	checkpoint                 string
 	resume                     bool
+	progress                   bool
+	searchTrace                string
+	searchStats                bool
 }
 
 // runAutotune searches the candidate space of one built-in workload
@@ -118,6 +130,20 @@ func runAutotune(name string, f autotuneFlags) (cancelled bool, err error) {
 	opt.Deadline = f.timeout
 	opt.Checkpoint = f.checkpoint
 	opt.Resume = f.resume
+	// Observability is strictly opt-in: with none of the flags set the
+	// Observer stays nil and the search output is bit-identical.
+	var observers obs.Tee
+	var col *obs.Collector
+	if f.progress {
+		observers = append(observers, obs.NewProgress(os.Stderr))
+	}
+	if f.searchTrace != "" || f.searchStats {
+		col = obs.NewCollector()
+		observers = append(observers, col)
+	}
+	if len(observers) > 0 {
+		opt.Observer = observers
+	}
 	start := time.Now()
 	res, err := core.Compile(prog, opt)
 	if err != nil {
@@ -139,6 +165,26 @@ func runAutotune(name string, f autotuneFlags) (cancelled bool, err error) {
 	if res.Cancelled {
 		fmt.Printf("search cancelled (%v): result is the best of the candidates measured before the cut\n",
 			res.CancelCause)
+	}
+	if col != nil {
+		if f.searchStats {
+			fmt.Printf("\n%s", col.Metrics().String())
+		}
+		if f.searchTrace != "" {
+			w, err := os.Create(f.searchTrace)
+			if err != nil {
+				return res.Cancelled, err
+			}
+			if err := col.WriteChromeTrace(w); err != nil {
+				w.Close()
+				return res.Cancelled, err
+			}
+			if err := w.Close(); err != nil {
+				return res.Cancelled, err
+			}
+			fmt.Printf("search trace: wrote %s (%d events; open in chrome://tracing or Perfetto)\n",
+				f.searchTrace, col.Len())
+		}
 	}
 	return res.Cancelled, nil
 }
@@ -169,6 +215,12 @@ func main() {
 		"with -autotune: journal completed measurements to this file so an interrupted search can be resumed")
 	resume := flag.Bool("resume", false,
 		"with -autotune: replay measurements from the -checkpoint journal instead of re-simulating them")
+	progress := flag.Bool("progress", false,
+		"with -autotune: live search progress on stderr (measured/remaining/ETA)")
+	searchTrace := flag.String("search-trace", "",
+		"with -autotune: write the search itself as Chrome trace_event JSON (one track per worker, per-candidate phase spans)")
+	searchStats := flag.Bool("search-stats", false,
+		"with -autotune: print per-phase wall-time and candidate-lifecycle metrics after the search")
 	flag.Parse()
 	if *autotuneBench != "" {
 		if flag.NArg() != 0 {
@@ -182,6 +234,7 @@ func main() {
 		cancelled, err := runAutotune(*autotuneBench, autotuneFlags{
 			parallelism: *parallel, threads: *threads, topK: *topK,
 			timeout: *timeout, checkpoint: *checkpoint, resume: *resume,
+			progress: *progress, searchTrace: *searchTrace, searchStats: *searchStats,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "phloemc:", err)

@@ -207,6 +207,12 @@ func run() int {
 	var col *telemetry.Collector
 	if *seriesOut != "" || *profile || *chromeOut != "" || *commOpt {
 		col = telemetry.NewCollector()
+		// Stamp the run's identity into the trace header so a sim-level
+		// trace can be matched to the bench/input (and, under the
+		// autotuner's CandidateProbe, to a candidate span in a search
+		// trace) that produced it.
+		col.SetMeta("bench", bench.Name)
+		col.SetMeta("input", in.Name)
 	}
 	pc, err := runPipe("phloem", res.Pipeline, col)
 	if err != nil {

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"phloem/internal/core"
+	"phloem/internal/obs"
 	"phloem/internal/taco"
 )
 
@@ -27,9 +28,11 @@ func main() {
 	pipe := flag.Bool("pipeline", false, "compile the kernel through Phloem")
 	timeout := flag.Duration("timeout", 0,
 		"with -pipeline: wall-clock compile budget (exit code 4 on expiry; 0 = unbounded)")
+	stats := flag.Bool("stats", false,
+		"with -pipeline: print the compile's phase wall-time metrics (build/commopt/verify)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tacoc [-pipeline] [-timeout D] spmv|sddmm|mtmul|residual")
+		fmt.Fprintln(os.Stderr, "usage: tacoc [-pipeline] [-timeout D] [-stats] spmv|sddmm|mtmul|residual")
 		os.Exit(2)
 	}
 	k := taco.Kernel(flag.Arg(0))
@@ -42,6 +45,11 @@ func main() {
 	if *pipe {
 		opt := core.DefaultOptions()
 		opt.Deadline = *timeout
+		var col *obs.Collector
+		if *stats {
+			col = obs.NewCollector()
+			opt.Observer = col
+		}
 		res, err := core.CompileSource(src, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tacoc:", err)
@@ -52,5 +60,8 @@ func main() {
 		}
 		fmt.Println()
 		fmt.Print(res.Pipeline.Describe())
+		if col != nil {
+			fmt.Printf("\n%s", col.Metrics().String())
+		}
 	}
 }

@@ -52,7 +52,9 @@ type CommOptRow struct {
 
 // CommOptReport is the BENCH_commopt.json schema.
 type CommOptReport struct {
-	Scale      string       `json:"scale"`
+	// HostInfo is the shared environment/scale metadata block (flattened
+	// into the JSON header, same keys as BENCH_search.json).
+	HostInfo
 	QueueDepth int          `json:"default_queue_depth"`
 	Benchmarks []CommOptRow `json:"benchmarks"`
 	// ImprovedFamilies counts benchmarks where an optimized leg improved on
@@ -74,11 +76,7 @@ var commOptLegs = []struct {
 // CommOptPerf runs the four-leg commopt comparison over the whole suite and
 // returns the report.
 func CommOptPerf(cfg Config) (*CommOptReport, error) {
-	scale := "test"
-	if cfg.Scale == workloads.ScaleFull {
-		scale = "full"
-	}
-	rep := &CommOptReport{Scale: scale, QueueDepth: arch.DefaultConfig(1).QueueDepth}
+	rep := &CommOptReport{HostInfo: Host(cfg.Scale), QueueDepth: arch.DefaultConfig(1).QueueDepth}
 	cfg.printf("\nQueue-communication optimization: uniform default vs inferred capacities vs multicast fan-out\n")
 	cfg.printf("%-8s %-10s %12s %9s %8s %10s %9s %6s\n",
 		"bench", "leg", "cycles", "delta", "full", "delta", "assigned", "fanout")

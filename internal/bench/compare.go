@@ -1,0 +1,373 @@
+package bench
+
+// The benchmark regression gate behind `phloembench -exp compare` and
+// `phloembench -benchdiff`: diff a fresh run (or any report file) against a
+// committed BENCH_*.json with per-metric thresholds. Only counts and
+// simulator cycles are compared — never wall time, which depends on the
+// host. Simulator cycle counts are deterministic for a given scale, so the
+// thresholds exist to absorb intentional small shifts (a pass reordering, a
+// calibration tweak), not host noise; anything beyond them is a regression
+// CI should fail on.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// DiffOptions sets the regression thresholds.
+type DiffOptions struct {
+	// CyclesTolPct is the relative tolerance (percent) on cycle metrics:
+	// new > old*(1+tol/100) is a regression. Cycle improvements are reported
+	// but never fatal. Applied to stall counters the same way.
+	CyclesTolPct float64
+	// CountTol is the absolute drift allowed on count metrics (enumerated,
+	// searched, stages, pruned...), in either direction: counts are exact
+	// search results, so the default 0 means any change is flagged.
+	CountTol int
+}
+
+// DefaultDiffOptions matches the CI gate: generous 10% on cycles, exact on
+// counts.
+func DefaultDiffOptions() DiffOptions {
+	return DiffOptions{CyclesTolPct: 10}
+}
+
+// DiffFinding is one metric's old-vs-new comparison outcome.
+type DiffFinding struct {
+	Bench  string  `json:"bench"` // "" for report-level metrics
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// Regression marks a change beyond threshold in the bad direction (or a
+	// structural mismatch); Changed marks any difference at all.
+	Regression bool   `json:"regression"`
+	Changed    bool   `json:"changed"`
+	Note       string `json:"note,omitempty"`
+}
+
+// differ accumulates findings over one report pair.
+type differ struct {
+	opt      DiffOptions
+	findings []DiffFinding
+}
+
+// count compares an exact count metric (two-sided CountTol drift).
+func (d *differ) count(bench, metric string, old, new int) {
+	f := DiffFinding{Bench: bench, Metric: metric, Old: float64(old), New: float64(new)}
+	if old != new {
+		f.Changed = true
+		if math.Abs(float64(new-old)) > float64(d.opt.CountTol) {
+			f.Regression = true
+			f.Note = fmt.Sprintf("count drifted by %+d (tolerance %d)", new-old, d.opt.CountTol)
+		}
+	}
+	d.findings = append(d.findings, f)
+}
+
+// cycles compares a lower-is-better cycle/stall metric (one-sided pct
+// tolerance; a zero old value falls back to the CountTol drift check).
+func (d *differ) cycles(bench, metric string, old, new uint64) {
+	f := DiffFinding{Bench: bench, Metric: metric, Old: float64(old), New: float64(new)}
+	if old != new {
+		f.Changed = true
+	}
+	switch {
+	case old == 0:
+		if new > uint64(d.opt.CountTol) {
+			f.Regression = true
+			f.Note = fmt.Sprintf("was 0, now %d", new)
+		}
+	case new > old:
+		pct := 100 * (float64(new) - float64(old)) / float64(old)
+		f.Note = fmt.Sprintf("%+.2f%%", pct)
+		if pct > d.opt.CyclesTolPct {
+			f.Regression = true
+			f.Note = fmt.Sprintf("+%.2f%% (tolerance %.2f%%)", pct, d.opt.CyclesTolPct)
+		}
+	case new < old:
+		f.Note = fmt.Sprintf("%.2f%% improvement", 100*(float64(old)-float64(new))/float64(old))
+	}
+	d.findings = append(d.findings, f)
+}
+
+// flag compares a must-stay-true boolean (true -> false is a regression).
+func (d *differ) flag(bench, metric string, old, new bool) {
+	f := DiffFinding{Bench: bench, Metric: metric, Old: b2f(old), New: b2f(new)}
+	if old != new {
+		f.Changed = true
+		if old && !new {
+			f.Regression = true
+			f.Note = "was true, now false"
+		}
+	}
+	d.findings = append(d.findings, f)
+}
+
+// structural records a report-shape mismatch (always a regression).
+func (d *differ) structural(bench, note string) {
+	d.findings = append(d.findings, DiffFinding{Bench: bench, Metric: "structure",
+		Regression: true, Changed: true, Note: note})
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// DiffSearchReports compares two search-engine reports metric by metric.
+// Wall-time columns (the *_ms fields, speedups, candidates/sec) and the
+// baseline-leg-dependent rank-correlation columns are never compared.
+func DiffSearchReports(old, new *SearchReport, opt DiffOptions) []DiffFinding {
+	d := &differ{opt: opt}
+	if old.Scale != new.Scale {
+		d.structural("", fmt.Sprintf("scale mismatch: old %q vs new %q (not comparable)", old.Scale, new.Scale))
+		return d.findings
+	}
+	d.count("", "topk", old.TopK, new.TopK)
+	byName := map[string]*SearchRow{}
+	for i := range new.Benchmarks {
+		byName[new.Benchmarks[i].Name] = &new.Benchmarks[i]
+	}
+	for i := range old.Benchmarks {
+		o := &old.Benchmarks[i]
+		n, ok := byName[o.Name]
+		if !ok {
+			d.structural(o.Name, "benchmark missing from new report")
+			continue
+		}
+		delete(byName, o.Name)
+		d.count(o.Name, "enumerated", o.Enumerated, n.Enumerated)
+		d.count(o.Name, "searched", o.Searched, n.Searched)
+		d.count(o.Name, "deduped", o.Deduped, n.Deduped)
+		d.count(o.Name, "skipped", o.Skipped, n.Skipped)
+		d.count(o.Name, "best_stages", o.BestStages, n.BestStages)
+		d.cycles(o.Name, "best_train_cycles", o.BestCycles, n.BestCycles)
+		d.count(o.Name, "topk_pruned", o.TopKPruned, n.TopKPruned)
+		d.count(o.Name, "topk_measured", o.TopKMeasured, n.TopKMeasured)
+		d.cycles(o.Name, "topk_train_cycles", o.TopKCycles, n.TopKCycles)
+		d.flag(o.Name, "topk_agrees", o.TopKAgrees, n.TopKAgrees)
+	}
+	for name := range byName {
+		d.structural(name, "benchmark only in new report")
+	}
+	return d.findings
+}
+
+// DiffCommOptReports compares two commopt reports leg by leg.
+func DiffCommOptReports(old, new *CommOptReport, opt DiffOptions) []DiffFinding {
+	d := &differ{opt: opt}
+	if old.Scale != new.Scale {
+		d.structural("", fmt.Sprintf("scale mismatch: old %q vs new %q (not comparable)", old.Scale, new.Scale))
+		return d.findings
+	}
+	d.count("", "default_queue_depth", old.QueueDepth, new.QueueDepth)
+	d.count("", "improved_families", old.ImprovedFamilies, new.ImprovedFamilies)
+	byName := map[string]*CommOptRow{}
+	for i := range new.Benchmarks {
+		byName[new.Benchmarks[i].Name] = &new.Benchmarks[i]
+	}
+	for i := range old.Benchmarks {
+		o := &old.Benchmarks[i]
+		n, ok := byName[o.Name]
+		if !ok {
+			d.structural(o.Name, "benchmark missing from new report")
+			continue
+		}
+		delete(byName, o.Name)
+		d.count(o.Name, "queues", o.Queues, n.Queues)
+		legs := map[string]*CommOptLeg{}
+		for j := range n.Legs {
+			legs[n.Legs[j].Name] = &n.Legs[j]
+		}
+		for j := range o.Legs {
+			ol := &o.Legs[j]
+			nl, ok := legs[ol.Name]
+			if !ok {
+				d.structural(o.Name, fmt.Sprintf("leg %q missing from new report", ol.Name))
+				continue
+			}
+			key := ol.Name + "." // e.g. "both.cycles"
+			d.cycles(o.Name, key+"cycles", ol.Cycles, nl.Cycles)
+			d.cycles(o.Name, key+"queue_full_stalls", ol.FullStalls, nl.FullStalls)
+			d.count(o.Name, key+"assigned", ol.Assigned, nl.Assigned)
+			d.count(o.Name, key+"fanouts", ol.FanOuts, nl.FanOuts)
+		}
+	}
+	for name := range byName {
+		d.structural(name, "benchmark only in new report")
+	}
+	return d.findings
+}
+
+// Regressions filters findings down to threshold violations.
+func Regressions(findings []DiffFinding) []DiffFinding {
+	var out []DiffFinding
+	for _, f := range findings {
+		if f.Regression {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// RenderDiff prints the comparison: every changed metric, then a verdict
+// line. Unchanged metrics are summarized, not listed. Output order follows
+// the old report, so it is deterministic.
+func RenderDiff(w io.Writer, title string, findings []DiffFinding) {
+	changed, regressed := 0, 0
+	fmt.Fprintf(w, "%s: %d metrics compared\n", title, len(findings))
+	for _, f := range findings {
+		if !f.Changed {
+			continue
+		}
+		changed++
+		mark := "~"
+		if f.Regression {
+			mark = "!"
+			regressed++
+		}
+		name := f.Metric
+		if f.Bench != "" {
+			name = f.Bench + "." + f.Metric
+		}
+		note := f.Note
+		if note != "" {
+			note = "  (" + note + ")"
+		}
+		fmt.Fprintf(w, "  %s %-32s %v -> %v%s\n", mark, name, f.Old, f.New, note)
+	}
+	switch {
+	case regressed > 0:
+		fmt.Fprintf(w, "  REGRESSION: %d metric(s) beyond threshold (of %d changed)\n", regressed, changed)
+	case changed > 0:
+		fmt.Fprintf(w, "  ok: %d metric(s) changed within threshold\n", changed)
+	default:
+		fmt.Fprintf(w, "  ok: no metric changes\n")
+	}
+}
+
+// reportKind sniffs which BENCH_*.json schema a file holds.
+type reportKind int
+
+const (
+	kindUnknown reportKind = iota
+	kindSearch
+	kindCommOpt
+)
+
+// LoadReport reads a BENCH_*.json file, detecting its schema: a commopt
+// report's benchmarks carry legs, a search report's carry enumerated
+// counts.
+func LoadReport(path string) (*SearchReport, *CommOptReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var probe struct {
+		Benchmarks []map[string]json.RawMessage `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	kind := kindUnknown
+	if len(probe.Benchmarks) > 0 {
+		if _, ok := probe.Benchmarks[0]["legs"]; ok {
+			kind = kindCommOpt
+		} else if _, ok := probe.Benchmarks[0]["enumerated"]; ok {
+			kind = kindSearch
+		}
+	}
+	switch kind {
+	case kindSearch:
+		var rep SearchReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &rep, nil, nil
+	case kindCommOpt:
+		var rep CommOptReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return nil, &rep, nil
+	}
+	return nil, nil, fmt.Errorf("%s: not a recognized BENCH report (no search/commopt benchmark rows)", path)
+}
+
+// DiffReportFiles diffs two report files of the same sniffed kind, printing
+// to w and returning the findings.
+func DiffReportFiles(w io.Writer, oldPath, newPath string, opt DiffOptions) ([]DiffFinding, error) {
+	oldS, oldC, err := LoadReport(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	newS, newC, err := LoadReport(newPath)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case oldS != nil && newS != nil:
+		f := DiffSearchReports(oldS, newS, opt)
+		RenderDiff(w, fmt.Sprintf("search report %s vs %s", oldPath, newPath), f)
+		return f, nil
+	case oldC != nil && newC != nil:
+		f := DiffCommOptReports(oldC, newC, opt)
+		RenderDiff(w, fmt.Sprintf("commopt report %s vs %s", oldPath, newPath), f)
+		return f, nil
+	}
+	return nil, fmt.Errorf("report kinds differ: %s vs %s", oldPath, newPath)
+}
+
+// Compare re-runs the search and commopt suites at the committed reports'
+// scale/parallelism/topk and diffs the fresh numbers against them. The
+// committed search report's baseline leg is skipped (wall time is never
+// compared, and the baseline triples the run time); count and cycle columns
+// are leg-independent. Returns every finding; the caller gates on
+// Regressions.
+func Compare(cfg Config, searchPath, commoptPath string, opt DiffOptions) ([]DiffFinding, error) {
+	var all []DiffFinding
+	if searchPath != "" {
+		committed, _, err := LoadReport(searchPath)
+		if err != nil {
+			return nil, err
+		}
+		if committed == nil {
+			return nil, fmt.Errorf("%s: not a search report", searchPath)
+		}
+		runCfg := cfg
+		runCfg.Scale = ParseScale(committed.Scale)
+		runCfg.TopK = committed.TopK
+		runCfg.SkipSearchBaseline = true
+		fresh, err := SearchPerf(runCfg)
+		if err != nil {
+			return nil, err
+		}
+		f := DiffSearchReports(committed, fresh, opt)
+		RenderDiff(cfg.Out, "search vs committed "+searchPath, f)
+		all = append(all, f...)
+	}
+	if commoptPath != "" {
+		_, committed, err := LoadReport(commoptPath)
+		if err != nil {
+			return nil, err
+		}
+		if committed == nil {
+			return nil, fmt.Errorf("%s: not a commopt report", commoptPath)
+		}
+		runCfg := cfg
+		runCfg.Scale = ParseScale(committed.Scale)
+		fresh, err := CommOptPerf(runCfg)
+		if err != nil {
+			return nil, err
+		}
+		f := DiffCommOptReports(committed, fresh, opt)
+		RenderDiff(cfg.Out, "commopt vs committed "+commoptPath, f)
+		all = append(all, f...)
+	}
+	return all, nil
+}

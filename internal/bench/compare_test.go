@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// searchFixture builds a small two-benchmark search report.
+func searchFixture() *SearchReport {
+	return &SearchReport{
+		Parallelism: 4, TopK: 5,
+		HostInfo: HostInfo{GOMAXPROCS: 1, NumCPU: 1, GoVersion: "go1.24.0", Scale: "test"},
+		Benchmarks: []SearchRow{
+			{Name: "BFS", Enumerated: 15, Searched: 15, Deduped: 1, Skipped: 12,
+				BestStages: 3, BestCycles: 70000, TopKPruned: 9, TopKMeasured: 5,
+				TopKCycles: 70000, TopKAgrees: true},
+			{Name: "CC", Enumerated: 15, Searched: 15, Deduped: 1, Skipped: 12,
+				BestStages: 3, BestCycles: 90000, TopKPruned: 9, TopKMeasured: 5,
+				TopKCycles: 90000, TopKAgrees: true},
+		},
+	}
+}
+
+// commoptFixture builds a one-benchmark commopt report.
+func commoptFixture() *CommOptReport {
+	return &CommOptReport{
+		HostInfo:   HostInfo{GOMAXPROCS: 1, NumCPU: 1, GoVersion: "go1.24.0", Scale: "test"},
+		QueueDepth: 24, ImprovedFamilies: 1,
+		Benchmarks: []CommOptRow{
+			{Name: "BFS", Input: "road-usa", Queues: 6, Improved: true,
+				Legs: []CommOptLeg{
+					{Name: "default", Cycles: 100000, FullStalls: 500},
+					{Name: "both", Cycles: 95000, FullStalls: 10, Assigned: 3, FanOuts: 1},
+				}},
+		},
+	}
+}
+
+func TestDiffSearchIdentical(t *testing.T) {
+	f := DiffSearchReports(searchFixture(), searchFixture(), DefaultDiffOptions())
+	if len(f) == 0 {
+		t.Fatal("no metrics compared")
+	}
+	for _, x := range f {
+		if x.Changed || x.Regression {
+			t.Errorf("identical reports flagged %+v", x)
+		}
+	}
+}
+
+// TestDiffSearchInjectedRegression is the gate's core contract: a cycles
+// regression beyond the threshold must be flagged, one within it must not,
+// and an improvement never is.
+func TestDiffSearchInjectedRegression(t *testing.T) {
+	opt := DiffOptions{CyclesTolPct: 10}
+	within := searchFixture()
+	within.Benchmarks[0].BestCycles = 75000 // +7.1%, inside 10%
+	if r := Regressions(DiffSearchReports(searchFixture(), within, opt)); len(r) != 0 {
+		t.Errorf("+7%% cycles within 10%% tolerance flagged as regression: %+v", r)
+	}
+
+	beyond := searchFixture()
+	beyond.Benchmarks[0].BestCycles = 80000 // +14.3%
+	r := Regressions(DiffSearchReports(searchFixture(), beyond, opt))
+	if len(r) != 1 || r[0].Metric != "best_train_cycles" || r[0].Bench != "BFS" {
+		t.Fatalf("+14%% cycles should be exactly one regression, got %+v", r)
+	}
+
+	improved := searchFixture()
+	improved.Benchmarks[1].BestCycles = 50000
+	if r := Regressions(DiffSearchReports(searchFixture(), improved, opt)); len(r) != 0 {
+		t.Errorf("cycle improvement flagged as regression: %+v", r)
+	}
+}
+
+func TestDiffSearchCountDrift(t *testing.T) {
+	// Counts are exact by default: any drift regresses.
+	drift := searchFixture()
+	drift.Benchmarks[0].Enumerated = 16
+	r := Regressions(DiffSearchReports(searchFixture(), drift, DefaultDiffOptions()))
+	if len(r) != 1 || r[0].Metric != "enumerated" {
+		t.Fatalf("enumerated drift should regress, got %+v", r)
+	}
+	// ...unless CountTol allows it.
+	opt := DiffOptions{CyclesTolPct: 10, CountTol: 2}
+	if r := Regressions(DiffSearchReports(searchFixture(), drift, opt)); len(r) != 0 {
+		t.Errorf("drift of 1 within CountTol 2 flagged: %+v", r)
+	}
+}
+
+func TestDiffSearchStructuralAndFlags(t *testing.T) {
+	// topk_agrees true -> false is a regression; a missing benchmark is too.
+	worse := searchFixture()
+	worse.Benchmarks[0].TopKAgrees = false
+	worse.Benchmarks = worse.Benchmarks[:1]
+	r := Regressions(DiffSearchReports(searchFixture(), worse, DefaultDiffOptions()))
+	var metrics []string
+	for _, x := range r {
+		metrics = append(metrics, x.Metric)
+	}
+	got := strings.Join(metrics, ",")
+	if !strings.Contains(got, "topk_agrees") || !strings.Contains(got, "structure") {
+		t.Errorf("want topk_agrees + structure regressions, got %v", r)
+	}
+	// Scale mismatch short-circuits: nothing is comparable.
+	full := searchFixture()
+	full.Scale = "full"
+	f := DiffSearchReports(searchFixture(), full, DefaultDiffOptions())
+	if len(f) != 1 || !f[0].Regression || !strings.Contains(f[0].Note, "scale mismatch") {
+		t.Errorf("scale mismatch should be a single structural regression, got %+v", f)
+	}
+}
+
+func TestDiffCommOpt(t *testing.T) {
+	if r := Regressions(DiffCommOptReports(commoptFixture(), commoptFixture(), DefaultDiffOptions())); len(r) != 0 {
+		t.Errorf("identical commopt reports regressed: %+v", r)
+	}
+	worse := commoptFixture()
+	worse.Benchmarks[0].Legs[1].Cycles = 120000  // +26% on the "both" leg
+	worse.Benchmarks[0].Legs[1].FullStalls = 400 // was 10: +3900%
+	r := Regressions(DiffCommOptReports(commoptFixture(), worse, DefaultDiffOptions()))
+	if len(r) != 2 {
+		t.Fatalf("want 2 regressions (both.cycles, both.queue_full_stalls), got %+v", r)
+	}
+	for _, x := range r {
+		if !strings.HasPrefix(x.Metric, "both.") {
+			t.Errorf("regression on unexpected metric %q", x.Metric)
+		}
+	}
+}
+
+// TestLoadReportSniffing: the loader detects the schema from the benchmark
+// rows, so benchdiff needs no -kind flag.
+func TestLoadReportSniffing(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, v any) string {
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	sp := write("search.json", searchFixture())
+	cp := write("commopt.json", commoptFixture())
+	if s, c, err := LoadReport(sp); err != nil || s == nil || c != nil {
+		t.Errorf("search.json sniffed wrong: %v %v %v", s, c, err)
+	}
+	if s, c, err := LoadReport(cp); err != nil || s != nil || c == nil {
+		t.Errorf("commopt.json sniffed wrong: %v %v %v", s, c, err)
+	}
+	junk := write("junk.json", map[string]any{"benchmarks": []map[string]any{{"name": "x"}}})
+	if _, _, err := LoadReport(junk); err == nil {
+		t.Error("unrecognizable report should error")
+	}
+
+	// DiffReportFiles: same kind diffs, mixed kinds error.
+	var buf bytes.Buffer
+	if _, err := DiffReportFiles(&buf, sp, sp, DefaultDiffOptions()); err != nil {
+		t.Errorf("same-kind diff: %v", err)
+	}
+	if !strings.Contains(buf.String(), "ok: no metric changes") {
+		t.Errorf("self-diff should render clean:\n%s", buf.String())
+	}
+	if _, err := DiffReportFiles(&buf, sp, cp, DefaultDiffOptions()); err == nil {
+		t.Error("mixed-kind diff should error")
+	}
+}
+
+// TestHostInfoHeader: both report schemas flatten the shared HostInfo block
+// into their JSON headers.
+func TestHostInfoHeader(t *testing.T) {
+	for name, v := range map[string]any{"search": searchFixture(), "commopt": commoptFixture()} {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatal(err)
+		}
+		for _, key := range []string{"gomaxprocs", "numcpu", "go_version", "scale"} {
+			if _, ok := m[key]; !ok {
+				t.Errorf("%s report header missing %q: %s", name, key, data)
+			}
+		}
+		if _, ok := m["host"]; ok {
+			t.Errorf("%s report did not flatten HostInfo: %s", name, data)
+		}
+	}
+}
+
+func TestRenderDiffMarksRegressions(t *testing.T) {
+	var buf bytes.Buffer
+	beyond := searchFixture()
+	beyond.Benchmarks[0].BestCycles = 80000
+	RenderDiff(&buf, "t", DiffSearchReports(searchFixture(), beyond, DefaultDiffOptions()))
+	out := buf.String()
+	if !strings.Contains(out, "! BFS.best_train_cycles") || !strings.Contains(out, "REGRESSION: 1 metric(s)") {
+		t.Errorf("render missing regression marks:\n%s", out)
+	}
+}

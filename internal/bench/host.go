@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"runtime"
+
+	"phloem/internal/workloads"
+)
+
+// HostInfo is the shared metadata block every committed BENCH_*.json report
+// carries, so a reader (or the benchdiff regression gate) can tell what
+// environment and input scale produced the numbers. Simulator cycle counts
+// are host-independent; the host fields contextualize the wall-time columns,
+// which the regression gate never compares.
+type HostInfo struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	GoVersion  string `json:"go_version"`
+	Scale      string `json:"scale"`
+}
+
+// Host captures the current process environment and the report's input
+// scale.
+func Host(scale workloads.Scale) HostInfo {
+	s := "test"
+	if scale == workloads.ScaleFull {
+		s = "full"
+	}
+	return HostInfo{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Scale:      s,
+	}
+}
+
+// ParseScale maps a report's scale string back to the workloads scale.
+func ParseScale(s string) workloads.Scale {
+	if s == "full" {
+		return workloads.ScaleFull
+	}
+	return workloads.ScaleTest
+}

@@ -4,8 +4,9 @@ package bench
 // autotune interrupted mid-flight with a checkpoint journal and then
 // resumed reproduces the uninterrupted serial run's winner, counters,
 // skips, and SearchPoint order byte-identically — at Parallelism 1, 4,
-// and GOMAXPROCS (trimmed to just 4 under -race, like the other suite
-// sweeps, since the reference leg already pins serial equivalence).
+// and GOMAXPROCS (trimmed to just 4 under -race and for SpMM, like the
+// other suite sweeps, since the reference leg already pins serial
+// equivalence and SpMM's exhaustive search dominates wall time).
 
 import (
 	"path/filepath"
@@ -16,9 +17,13 @@ import (
 )
 
 // interruptParallelisms is the interrupt/resume sweep: under -race the
-// expensive legs collapse to the fixed parallel one.
-func interruptParallelisms() []int {
-	if raceEnabled {
+// expensive legs collapse to the fixed parallel one, and SpMM — whose
+// exhaustive search dominates the suite's wall time — keeps a single leg
+// in plain mode too. The journal/cancel surface is family-independent and
+// the cheaper families sweep the full matrix, so the extra SpMM legs only
+// buy per-package-timeout risk.
+func interruptParallelisms(bench string) []int {
+	if raceEnabled || bench == "SpMM" {
 		return []int{4}
 	}
 	return []int{1, 4, 0}
@@ -47,7 +52,7 @@ func TestInterruptResumeAllBenchmarks(t *testing.T) {
 				t.Fatal(err)
 			}
 			want := searchSignature(ref)
-			for _, par := range interruptParallelisms() {
+			for _, par := range interruptParallelisms(bench.Name) {
 				path := filepath.Join(t.TempDir(), "ckpt.jsonl")
 				partial, resumed, err := interruptResume(cfg, bench, prog, path, par)
 				if err != nil {

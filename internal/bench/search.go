@@ -87,10 +87,10 @@ type SearchRow struct {
 type SearchReport struct {
 	Parallelism int `json:"parallelism"`
 	// TopK is the K the top-K leg pruned to.
-	TopK        int         `json:"topk"`
-	GOMAXPROCS  int         `json:"gomaxprocs"`
-	NumCPU      int         `json:"numcpu"`
-	Scale       string      `json:"scale"`
+	TopK int `json:"topk"`
+	// HostInfo is the shared environment/scale metadata block (flattened
+	// into the JSON header, same keys as every other BENCH_*.json report).
+	HostInfo
 	Benchmarks  []SearchRow `json:"benchmarks"`
 	TotalBaseMS float64     `json:"total_baseline_ms"`
 	TotalSerMS  float64     `json:"total_serial_ms"`
@@ -149,12 +149,7 @@ func SearchPerf(cfg Config) (*SearchReport, error) {
 	if topK <= 0 {
 		topK = DefaultSearchTopK
 	}
-	scale := "test"
-	if cfg.Scale == workloads.ScaleFull {
-		scale = "full"
-	}
-	rep := &SearchReport{Parallelism: par, TopK: topK, GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU: runtime.NumCPU(), Scale: scale}
+	rep := &SearchReport{Parallelism: par, TopK: topK, HostInfo: Host(cfg.Scale)}
 	cfg.printf("\nSearch engine: baseline (no pruning) vs serial vs parallel vs top-%d autotune (parallelism %d)\n",
 		topK, par)
 	cfg.printf("%-8s %6s %6s %6s %6s %11s %10s %10s %10s %8s %8s %6s %6s\n",

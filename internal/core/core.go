@@ -98,6 +98,17 @@ type Options struct {
 	// its own candidate pipeline), so implementations must not touch shared
 	// mutable state.
 	PostBuild func(*pipeline.Pipeline)
+	// Observer, when set, receives typed search-lifecycle events — one per
+	// candidate state transition (enumerated, deduped, pruned, build,
+	// commopt, verify, train, replay, accept, skip, cancel) plus the
+	// search-level spans — with monotonic wall-time offsets and per-worker
+	// attribution (see observer.go). Mirrors the sim.Probe contract: with a
+	// nil Observer no timestamps are taken and every search output (winner,
+	// counters, skips, SearchPoints, journal bytes) is bit-identical; with
+	// one installed the stream is purely additive. Implementations must be
+	// safe for concurrent use when Parallelism > 1 and must not block.
+	// internal/obs provides the standard collector/progress observers.
+	Observer Observer
 	// CandidateProbe, when set, supplies a telemetry probe (typically a
 	// fresh telemetry.Collector) for each unique autotune/Search candidate,
 	// identified by phase index and point subset (the static pipeline is
@@ -135,6 +146,30 @@ type Options struct {
 	// degrades gracefully to re-measurement; without Resume an existing
 	// journal is truncated and rewritten.
 	Resume bool
+
+	// obsw is the resolved Observer emission state (nil = disabled),
+	// threaded on the Options copy so build/verify sites deep in the flow
+	// can emit spans; obsC is the candidate identity those sites attribute
+	// their spans to. Both are set internally by Compile/Search/the search
+	// engine, never by callers.
+	obsw *obsWriter
+	obsC obsCand
+}
+
+// obsCand is the candidate identity (plus worker attribution) carried on an
+// Options copy into buildCandidate/finishPipeline span emission.
+type obsCand struct {
+	seq    int
+	phase  int
+	subset []int
+	fp     string
+	worker int
+}
+
+// obsEvent seeds an event with the carried candidate identity.
+func (o *Options) obsEvent(kind EventKind) SearchEvent {
+	return SearchEvent{Kind: kind, Seq: o.obsC.seq, Phase: o.obsC.phase,
+		Subset: o.obsC.subset, FP: o.obsC.fp, Worker: o.obsC.worker}
 }
 
 // searchContext resolves Ctx and Deadline into the effective context for
@@ -304,6 +339,10 @@ func Compile(p *ir.Prog, opt Options) (res *Result, err error) {
 			return nil, fmt.Errorf("core: compile cancelled: %w", err)
 		}
 	}
+	// Resolve the Observer once; the obsWriter rides every Options copy so
+	// build/verify/measure sites emit against one shared clock anchor.
+	opt.obsw = newObsWriter(opt.Observer)
+	opt.obsC = obsCand{seq: -1, phase: -1}
 
 	an := analysis.New(p)
 	phases := analysis.ProgramPhases(p.Body)
@@ -354,6 +393,7 @@ func staticCut(cs []*analysis.Candidate, maxThreads int) []*analysis.Candidate {
 // buildStatic picks the (N-1) highest-ranked points per phase; phases with
 // `#pragma decouple` marks use the programmer's points instead (Table II).
 func buildStatic(p *ir.Prog, cands [][]*analysis.Candidate, opt Options) (*Result, error) {
+	opt.obsw.instant(SearchEvent{Kind: EvSearchStart, Seq: -1, Phase: -1, Mode: "static"})
 	an := analysis.New(p)
 	phases := analysis.ProgramPhases(p.Body)
 	points := make([][]*analysis.Candidate, len(cands))
@@ -364,13 +404,16 @@ func buildStatic(p *ir.Prog, cands [][]*analysis.Candidate, opt Options) (*Resul
 		}
 		points[i] = staticCut(cs, opt.MaxThreads)
 	}
+	t0 := opt.obsw.now()
 	pipe, err := passes.Build(p, points, opt.Passes, buildCfg(opt))
 	if err != nil {
 		return nil, err
 	}
+	opt.obsw.span(opt.obsEvent(EvBuild), t0)
 	if err := finishPipeline(pipe, opt); err != nil {
 		return nil, err
 	}
+	opt.obsw.instant(SearchEvent{Kind: EvSearchEnd, Seq: -1, Phase: -1, Mode: "static"})
 	return &Result{Pipeline: pipe, Prog: p, ReplicateRequested: p.Replicate}, nil
 }
 
@@ -379,9 +422,11 @@ func buildStatic(p *ir.Prog, cands [][]*analysis.Candidate, opt Options) (*Resul
 // pipelines the static verifier finds broken.
 func finishPipeline(pipe *pipeline.Pipeline, opt Options) error {
 	if opt.CommOpt {
+		t0 := opt.obsw.now()
 		if _, err := commopt.Apply(pipe, opt.Machine, commopt.Options{Capacities: true, Multicast: true}); err != nil {
 			return fmt.Errorf("core: commopt %q: %w", pipe.Prog.Name, err)
 		}
+		opt.obsw.span(opt.obsEvent(EvCommOpt), t0)
 	}
 	if opt.PostBuild != nil {
 		opt.PostBuild(pipe)
@@ -389,7 +434,10 @@ func finishPipeline(pipe *pipeline.Pipeline, opt Options) error {
 	if opt.SkipVerify {
 		return nil
 	}
-	if rep := verify.Check(pipe); rep.HasErrors() {
+	t0 := opt.obsw.now()
+	rep := verify.Check(pipe)
+	opt.obsw.span(opt.obsEvent(EvVerify), t0)
+	if rep.HasErrors() {
 		msg := ""
 		for _, d := range rep.Errors() {
 			msg += "\n  " + d.String()
@@ -422,6 +470,7 @@ func autotune(p *ir.Prog, phases []*analysis.Phase, cands [][]*analysis.Candidat
 	if trace == nil {
 		trace = func(string, ...any) {}
 	}
+	opt.obsw.instant(SearchEvent{Kind: EvSearchStart, Seq: -1, Phase: -1, Mode: "autotune"})
 	jr, err := openJournal(p, opt, "autotune", trace)
 	if err != nil {
 		return nil, err
@@ -430,6 +479,7 @@ func autotune(p *ir.Prog, phases []*analysis.Phase, cands [][]*analysis.Candidat
 	serial := pipeline.NewSerial(p)
 	serialCycles, replayedSerial := jr.serialCycles()
 	if !replayedSerial {
+		t0 := opt.obsw.now()
 		serialCycles, err = measure(serial, opt, Budget{Ctx: opt.Ctx})
 		if err != nil {
 			// The serial program itself fails (or the search was cancelled
@@ -437,6 +487,10 @@ func autotune(p *ir.Prog, phases []*analysis.Phase, cands [][]*analysis.Candidat
 			return nil, fmt.Errorf("core: serial baseline failed training: %w", err)
 		}
 		jr.recordSerial(serialCycles)
+		opt.obsw.span(SearchEvent{Kind: EvSerial, Seq: -1, Phase: -1, Cycles: serialCycles}, t0)
+	} else {
+		opt.obsw.instant(SearchEvent{Kind: EvSerial, Seq: -1, Phase: -1,
+			Cycles: serialCycles, Replayed: true})
 	}
 	budget := candidateBudget(serialCycles, opt.BudgetFactor)
 	// The trace deliberately omits the parallelism level: search traces are
@@ -448,6 +502,7 @@ func autotune(p *ir.Prog, phases []*analysis.Phase, cands [][]*analysis.Candidat
 	tasks.add(-1, nil, staticFullPoints(p, phases, cands, opt.MaxThreads))
 	tasks.enumerate(phases, cands, staticEnumPoints(cands, opt.MaxThreads),
 		opt.MaxCandidates, opt.MaxThreads)
+	emitEnumerated(opt, tasks.tasks)
 	pruned, rankMS := rankAndPrune(p, opt, tasks.tasks)
 	if pruned > 0 {
 		trace("autotune: rank phase pruned %d of %d unique candidates (top-%d survive)",
@@ -501,7 +556,21 @@ func autotune(p *ir.Prog, phases []*analysis.Phase, cands [][]*analysis.Candidat
 			trace("autotune: search cancelled (%v); returning best-so-far pipeline", cerr)
 		}
 	}
+	opt.obsw.instant(SearchEvent{Kind: EvSearchEnd, Seq: -1, Phase: -1, Mode: "autotune",
+		Cycles: res.TrainCycles, N: res.Replayed})
 	return res, nil
+}
+
+// emitEnumerated reports every walked candidate configuration to the
+// Observer, in enumeration order, before any ranking or measurement.
+func emitEnumerated(opt Options, tasks []*candTask) {
+	if opt.obsw == nil {
+		return
+	}
+	for _, t := range tasks {
+		opt.obsw.instant(SearchEvent{Kind: EvEnumerated, Seq: t.seq, Phase: t.phase,
+			Subset: t.subset, FP: t.fp, Dup: t.dupOf >= 0})
+	}
 }
 
 // buildCandidate builds and verifies one candidate pipeline under panic
@@ -578,6 +647,9 @@ func Search(p *ir.Prog, opt Options) (out []SearchPoint, err error) {
 	if trace == nil {
 		trace = func(string, ...any) {}
 	}
+	opt.obsw = newObsWriter(opt.Observer)
+	opt.obsC = obsCand{seq: -1, phase: -1}
+	opt.obsw.instant(SearchEvent{Kind: EvSearchStart, Seq: -1, Phase: -1, Mode: "search"})
 	an := analysis.New(p)
 	phases := analysis.ProgramPhases(p.Body)
 	cands := make([][]*analysis.Candidate, len(phases))
@@ -593,17 +665,23 @@ func Search(p *ir.Prog, opt Options) (out []SearchPoint, err error) {
 	defer jr.close()
 	serialCycles, replayedSerial := jr.serialCycles()
 	if !replayedSerial {
+		t0 := opt.obsw.now()
 		serialCycles, err = measure(pipeline.NewSerial(p), opt, Budget{Ctx: opt.Ctx})
 		if err != nil {
 			return nil, fmt.Errorf("core: serial baseline failed training: %w", err)
 		}
 		jr.recordSerial(serialCycles)
+		opt.obsw.span(SearchEvent{Kind: EvSerial, Seq: -1, Phase: -1, Cycles: serialCycles}, t0)
+	} else {
+		opt.obsw.instant(SearchEvent{Kind: EvSerial, Seq: -1, Phase: -1,
+			Cycles: serialCycles, Replayed: true})
 	}
 	budget := candidateBudget(serialCycles, opt.BudgetFactor)
 
 	tasks := newTaskList(opt, budget)
 	tasks.enumerate(phases, cands, staticEnumPoints(cands, opt.MaxThreads),
 		opt.MaxCandidates, opt.MaxThreads)
+	emitEnumerated(opt, tasks.tasks)
 	rankAndPrune(p, opt, tasks.tasks)
 
 	// The serial pipeline is not a search point, so branch-and-bound starts
@@ -644,6 +722,14 @@ func Search(p *ir.Prog, opt Options) (out []SearchPoint, err error) {
 		}
 	}
 
+	if opt.obsw != nil {
+		best := uint64(0)
+		if s.best != noBest {
+			best = s.best
+		}
+		opt.obsw.instant(SearchEvent{Kind: EvSearchEnd, Seq: -1, Phase: -1, Mode: "search",
+			Cycles: best, N: jr.replayCount()})
+	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].TotalStages < out[j].TotalStages })
 	return out, nil
 }

@@ -108,11 +108,12 @@ type candOutcome struct {
 
 // candFinal is a merged, deterministic per-candidate result.
 type candFinal struct {
-	pipe   *pipeline.Pipeline
-	stages int // pipe.TotalStages() when the build succeeded
-	cycles uint64
-	skip   *CandidateSkip // non-nil: the candidate was dropped (cycles meaningless)
-	dup    bool           // resolved from an earlier candidate's memoized result
+	pipe     *pipeline.Pipeline
+	stages   int // pipe.TotalStages() when the build succeeded
+	cycles   uint64
+	skip     *CandidateSkip // non-nil: the candidate was dropped (cycles meaningless)
+	dup      bool           // resolved from an earlier candidate's memoized result
+	replayed bool           // verdict restored from the checkpoint journal
 }
 
 // fingerprint canonically identifies a pipeline configuration: for every
@@ -192,8 +193,10 @@ func (s *searcher) exactBound() uint64 {
 // bound is re-read from the atomic before every training input, so long
 // measurements pick up tightening published mid-flight; o.bound records the
 // first read — the loosest value any part of the measurement ran under.
-func (s *searcher) runTask(t *candTask) *candOutcome {
+func (s *searcher) runTask(t *candTask, worker int) *candOutcome {
 	o := &candOutcome{seq: t.seq}
+	opt := s.opt
+	opt.obsC = obsCand{seq: t.seq, phase: t.phase, subset: t.subset, fp: t.fp, worker: worker}
 	if s.ctx != nil && s.ctx.Err() != nil {
 		// Cancelled before this candidate was touched: skip without
 		// building (pipe stays nil, so it never counts as searched).
@@ -203,7 +206,13 @@ func (s *searcher) runTask(t *candTask) *candOutcome {
 	}
 	pipe, skip := t.pipe, t.buildSkip
 	if pipe == nil && skip == nil {
-		pipe, skip = buildCandidate(cloneProg(s.p), t.phase, t.subset, t.points, s.opt)
+		t0 := opt.obsw.now()
+		pipe, skip = buildCandidate(cloneProg(s.p), t.phase, t.subset, t.points, opt)
+		e := opt.obsEvent(EvBuild)
+		if skip != nil {
+			e.Err = skip.Err
+		}
+		opt.obsw.span(e, t0)
 	}
 	if skip != nil {
 		o.skip = skip
@@ -215,7 +224,7 @@ func (s *searcher) runTask(t *candTask) *candOutcome {
 		// error stays auditable next to the measured cycles. Writing the
 		// task is race-free — exactly one worker owns an unranked task, and
 		// the channel send below orders the write before the merger reads.
-		if rep, err := costmodel.Analyze(pipe, s.opt.Machine); err == nil {
+		if rep, err := costmodel.Analyze(pipe, opt.Machine); err == nil {
 			t.predCycles, t.predOK = rep.Predicted, true
 		}
 	}
@@ -223,19 +232,29 @@ func (s *searcher) runTask(t *candTask) *candOutcome {
 		// A previous run already finalized this candidate's measurement;
 		// replay the verdict instead of simulating.
 		o.replay = e
+		re := opt.obsEvent(EvReplay)
+		re.Cycles, re.Replayed = e.Cycles, true
+		if e.Reason != "" {
+			re.Err = replaySkip(t, e).Err
+		}
+		opt.obsw.instant(re)
 		return o
 	}
 	b := t.budget
 	b.Ctx = s.ctx
 	o.bound = s.bound.Load()
 	first := true
-	o.cycles, o.merr = tryMeasure(pipe, s.opt, b, func() uint64 {
+	t0 := opt.obsw.now()
+	o.cycles, o.merr = tryMeasure(pipe, opt, b, func() uint64 {
 		if first {
 			first = false
 			return o.bound
 		}
 		return s.bound.Load()
 	})
+	te := opt.obsEvent(EvTrain)
+	te.Cycles, te.Err = o.cycles, o.merr
+	opt.obsw.span(te, t0)
 	return o
 }
 
@@ -286,6 +305,7 @@ func (s *searcher) finalize(t *candTask, o *candOutcome) *candFinal {
 		// A journal entry is a previous run's *finalized* verdict for this
 		// candidate, recorded under an identical key — same enumeration
 		// order, same bound sequence — so it is taken verbatim.
+		f.replayed = true
 		if o.replay.Reason == "" {
 			f.cycles = o.replay.Cycles
 		} else {
@@ -311,7 +331,10 @@ func (s *searcher) finalize(t *candTask, o *candOutcome) *candFinal {
 		b := s.base
 		b.Probe, b.TelemetryInterval = nil, 0
 		b.Ctx = s.ctx
+		t0 := s.opt.obsw.now()
 		cycles, err := tryMeasure(o.pipe, s.opt, b, func() uint64 { return bound })
+		s.opt.obsw.span(SearchEvent{Kind: EvTrain, Seq: t.seq, Phase: t.phase,
+			Subset: t.subset, FP: t.fp, Cycles: cycles, Err: err}, t0)
 		if err != nil {
 			f.skip = skipFor(t, err)
 		} else {
@@ -392,11 +415,12 @@ func (s *searcher) run(tasks []*candTask, emit func(*candTask, *candFinal)) {
 		for _, t := range tasks {
 			f := local(t)
 			if f == nil {
-				f = s.finalize(t, s.runTask(t))
+				f = s.finalize(t, s.runTask(t, 0))
 			}
 			if !f.dup {
 				s.merge(memo, t, f)
 			}
+			s.opt.obsw.instant(finalEvent(t, f))
 			emit(t, f)
 		}
 		return
@@ -414,8 +438,9 @@ func (s *searcher) run(tasks []*candTask, emit func(*candTask, *candFinal)) {
 		t := tasks[i]
 		f := local(t)
 		if f == nil {
-			f = s.finalize(t, s.runTask(t))
+			f = s.finalize(t, s.runTask(t, 0))
 			s.merge(memo, t, f)
+			s.opt.obsw.instant(finalEvent(t, f))
 			emit(t, f)
 			i++
 			break
@@ -423,6 +448,7 @@ func (s *searcher) run(tasks []*candTask, emit func(*candTask, *candFinal)) {
 		if !f.dup {
 			s.merge(memo, t, f)
 		}
+		s.opt.obsw.instant(finalEvent(t, f))
 		emit(t, f)
 	}
 	rest := tasks[i:]
@@ -433,11 +459,11 @@ func (s *searcher) run(tasks []*candTask, emit func(*candTask, *candFinal)) {
 	work := make(chan *candTask, len(rest))
 	outs := make(chan *candOutcome, len(rest))
 	for w := 0; w < nw; w++ {
-		go func() {
+		go func(id int) {
 			for t := range work {
-				outs <- s.runTask(t)
+				outs <- s.runTask(t, id)
 			}
-		}()
+		}(w + 1)
 	}
 	for _, t := range rest {
 		if t.dupOf < 0 && !t.pruned {
@@ -452,6 +478,7 @@ func (s *searcher) run(tasks []*candTask, emit func(*candTask, *candFinal)) {
 			if !f.dup {
 				s.merge(memo, t, f)
 			}
+			s.opt.obsw.instant(finalEvent(t, f))
 			emit(t, f)
 			continue
 		}
@@ -467,6 +494,7 @@ func (s *searcher) run(tasks []*candTask, emit func(*candTask, *candFinal)) {
 		delete(pending, t.seq)
 		f := s.finalize(t, o)
 		s.merge(memo, t, f)
+		s.opt.obsw.instant(finalEvent(t, f))
 		emit(t, f)
 	}
 }
@@ -508,6 +536,11 @@ func rankAndPrune(p *ir.Prog, opt Options, tasks []*candTask) (pruned int, milli
 		return 0, 0
 	}
 	start := time.Now()
+	rank0 := opt.obsw.now()
+	defer func() {
+		e := SearchEvent{Kind: EvRank, Seq: -1, Phase: -1, N: pruned}
+		opt.obsw.span(e, rank0)
+	}()
 	var unique []*candTask
 	for _, t := range tasks {
 		if t.dupOf < 0 {
@@ -515,7 +548,14 @@ func rankAndPrune(p *ir.Prog, opt Options, tasks []*candTask) (pruned int, milli
 		}
 	}
 	for _, t := range unique {
+		opt.obsC = obsCand{seq: t.seq, phase: t.phase, subset: t.subset, fp: t.fp}
+		t0 := opt.obsw.now()
 		t.pipe, t.buildSkip = buildCandidate(cloneProg(p), t.phase, t.subset, t.points, opt)
+		e := opt.obsEvent(EvBuild)
+		if t.buildSkip != nil {
+			e.Err = t.buildSkip.Err
+		}
+		opt.obsw.span(e, t0)
 		if t.buildSkip != nil {
 			continue
 		}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"phloem/internal/core"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format (same "JSON
+// array format" internal/telemetry writes for sim-level traces). Ts/Dur are
+// wall-clock microseconds from the search's EvSearchStart anchor. Dur is
+// deliberately not omitempty: sub-microsecond spans keep an explicit dur of
+// 0 so per-phase dur sums reconcile exactly with Metrics.Phases.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent  `json:"traceEvents"`
+	OtherData   map[string]any `json:"otherData,omitempty"`
+}
+
+// searchPid is the single process every search track lives under.
+const searchPid = 1
+
+// WriteChromeTrace writes the recorded search as Chrome trace_event JSON,
+// loadable in chrome://tracing or Perfetto: one thread track per search
+// worker (worker 0 is the merger/serial goroutine), one enclosing span per
+// candidate visit nested with its phase sub-spans (build/commopt/verify/
+// train), the serial-baseline and rank-phase spans, and the merger's verdict
+// instants in enumeration order. Every candidate event carries its
+// fingerprint in args.fp — the same key `phloemsim -chrome-trace` stamps
+// into a candidate's sim-level trace via telemetry.Collector.SetMeta, so the
+// two traces can be joined per candidate.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	events := c.Events()
+	m := Aggregate(events)
+	tr := chromeTrace{OtherData: map[string]any{
+		"mode":       m.Mode,
+		"enumerated": m.Enumerated,
+		"unique":     m.Unique,
+		"bestCycles": m.BestCycles,
+		"replayed":   m.ReplayedTotal,
+	}}
+	ev := func(e chromeEvent) { tr.TraceEvents = append(tr.TraceEvents, e) }
+
+	ev(chromeEvent{Name: "process_name", Ph: "M", Pid: searchPid,
+		Args: map[string]any{"name": fmt.Sprintf("search (%s)", m.Mode)}})
+	for wkr := 0; wkr < m.Workers; wkr++ {
+		name := fmt.Sprintf("worker %d", wkr)
+		if wkr == 0 {
+			name = "worker 0 (merger)"
+		}
+		ev(chromeEvent{Name: "thread_name", Ph: "M", Pid: searchPid, Tid: wkr + 1,
+			Args: map[string]any{"name": name}})
+	}
+
+	// Enclosing candidate spans: one per (candidate, worker) visit, covering
+	// that visit's phase sub-spans (rank-phase builds land on worker 0, the
+	// measurement on whichever worker drew the task).
+	type visitKey struct{ seq, worker int }
+	type visit struct {
+		first, last int // indices into events bounding the visit's spans
+		start, end  int64
+	}
+	visits := map[visitKey]*visit{}
+	var visitOrder []visitKey
+	for i := range events {
+		e := &events[i]
+		if e.Seq < 0 || !phaseSpan(e) {
+			continue
+		}
+		k := visitKey{e.Seq, e.Worker}
+		v := visits[k]
+		if v == nil {
+			v = &visit{first: i, start: e.Start.Microseconds()}
+			visits[k] = v
+			visitOrder = append(visitOrder, k)
+		}
+		if s := e.Start.Microseconds(); s < v.start {
+			v.start = s
+		}
+		if end := e.End.Microseconds(); end > v.end {
+			v.end = end
+		}
+		v.last = i
+	}
+	sort.Slice(visitOrder, func(i, j int) bool {
+		a, b := visits[visitOrder[i]], visits[visitOrder[j]]
+		if a.start != b.start {
+			return a.start < b.start
+		}
+		return visitOrder[i].seq < visitOrder[j].seq
+	})
+	for _, k := range visitOrder {
+		v := visits[k]
+		e := &events[v.first]
+		dur := v.end - v.start
+		ev(chromeEvent{Name: candName(e), Ph: "X", Cat: "candidate",
+			Pid: searchPid, Tid: k.worker + 1, Ts: v.start, Dur: &dur,
+			Args: candArgs(e)})
+	}
+
+	// Phase sub-spans and search-level spans.
+	for i := range events {
+		e := &events[i]
+		switch e.Kind {
+		case core.EvSerial, core.EvRank, core.EvBuild, core.EvCommOpt,
+			core.EvVerify, core.EvTrain:
+			if !phaseSpan(e) {
+				// A journal-replayed serial baseline is an instant, not a span.
+				ev(chromeEvent{Name: "serial (replayed)", Ph: "i", S: "t",
+					Cat: "search", Pid: searchPid, Tid: e.Worker + 1,
+					Ts:   e.Start.Microseconds(),
+					Args: map[string]any{"cycles": e.Cycles}})
+				continue
+			}
+			dur := spanMicros(e)
+			ce := chromeEvent{Name: e.Kind.String(), Ph: "X", Cat: "phase",
+				Pid: searchPid, Tid: e.Worker + 1, Ts: e.Start.Microseconds(), Dur: &dur}
+			if e.Seq >= 0 {
+				ce.Args = candArgs(e)
+			}
+			if e.Kind == core.EvTrain {
+				if ce.Args == nil {
+					ce.Args = map[string]any{}
+				}
+				ce.Args["cycles"] = e.Cycles
+			}
+			ev(ce)
+		case core.EvSearchStart, core.EvSearchEnd, core.EvReplay,
+			core.EvDeduped, core.EvPruned, core.EvAccept, core.EvSkip, core.EvCancel:
+			ce := chromeEvent{Name: e.Kind.String(), Ph: "i", S: "t", Cat: "verdict",
+				Pid: searchPid, Tid: e.Worker + 1, Ts: e.Start.Microseconds()}
+			switch e.Kind {
+			case core.EvSearchStart, core.EvSearchEnd:
+				ce.Cat = "search"
+			default:
+				ce.Args = candArgs(e)
+				if e.Kind == core.EvAccept || e.Kind == core.EvReplay {
+					ce.Args["cycles"] = e.Cycles
+				}
+				if e.Skip != nil {
+					ce.Args["reason"] = e.Skip.Reason.String()
+				}
+			}
+			ev(ce)
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(&tr)
+}
+
+// candName labels a candidate's enclosing span.
+func candName(e *core.SearchEvent) string {
+	if e.Phase < 0 {
+		return fmt.Sprintf("cand %d static", e.Seq)
+	}
+	return fmt.Sprintf("cand %d %v", e.Seq, e.Subset)
+}
+
+// candArgs is the candidate identity attached to its trace events; fp links
+// to the candidate's sim-level telemetry trace.
+func candArgs(e *core.SearchEvent) map[string]any {
+	return map[string]any{
+		"seq":   e.Seq,
+		"phase": e.Phase,
+		"fp":    e.FP,
+	}
+}

@@ -1,0 +1,77 @@
+// Package obs is the standard observer toolkit over core.Options.Observer:
+// a Collector recording the full search-lifecycle event stream for metrics
+// aggregation and Chrome trace export, a Progress writer rendering live
+// search status to a terminal, and a Tee multiplexing several observers.
+//
+// Everything here is strictly additive: observers receive copies of search
+// state through core.SearchEvent and can never change the search's winner,
+// counters, skips, SearchPoints, or journal bytes. With no observer
+// installed, core takes no timestamps at all (the nil-probe contract of
+// sim.Probe, pinned by TestObserverNilBitIdentity).
+package obs
+
+import (
+	"sync"
+
+	"phloem/internal/core"
+)
+
+// Collector records every search-lifecycle event it observes. It is safe for
+// concurrent use (worker spans arrive from pool goroutines when
+// core.Options.Parallelism > 1) and never blocks beyond a short mutex hold.
+//
+// A Collector observes exactly one Compile/Search call; aggregate with
+// Metrics, export with WriteChromeTrace, or inspect the raw stream with
+// Events.
+type Collector struct {
+	mu     sync.Mutex
+	events []core.SearchEvent
+}
+
+// NewCollector returns an empty Collector ready to install on
+// core.Options.Observer.
+func NewCollector() *Collector {
+	return &Collector{}
+}
+
+// Observe implements core.Observer.
+func (c *Collector) Observe(e core.SearchEvent) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of the recorded stream in arrival order. At
+// Parallelism 1 the order is canonical (one emitting goroutine); above that,
+// worker spans interleave nondeterministically but merger verdicts are still
+// in enumeration order relative to each other.
+func (c *Collector) Events() []core.SearchEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]core.SearchEvent(nil), c.events...)
+}
+
+// Len reports the number of recorded events.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// Metrics aggregates the recorded stream (see Aggregate).
+func (c *Collector) Metrics() *Metrics {
+	return Aggregate(c.Events())
+}
+
+// Tee multiplexes one event stream to several observers, in order. A nil
+// entry is skipped.
+type Tee []core.Observer
+
+// Observe implements core.Observer.
+func (t Tee) Observe(e core.SearchEvent) {
+	for _, o := range t {
+		if o != nil {
+			o.Observe(e)
+		}
+	}
+}

@@ -42,6 +42,9 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 		"cycles":       c.endCycle,
 		"handlerFires": c.handlerN,
 	}}
+	for k, v := range c.meta {
+		tr.OtherData[k] = v
+	}
 	ev := func(e chromeEvent) { tr.TraceEvents = append(tr.TraceEvents, e) }
 
 	// Metadata: name processes (cores) and thread tracks (stages, RAs).
