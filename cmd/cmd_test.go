@@ -471,6 +471,155 @@ func TestPhloemsimExitCodes(t *testing.T) {
 	}
 }
 
+// TestPhloemsimNativeBackend drives `-backend native` end to end and
+// asserts the exit-code contract is backend-independent: the native engine
+// fails with the same sentinel classes the simulator does, so 0/1/2/3/4
+// mean the same thing under both backends. It also pins the flag-gating:
+// simulator-only observability flags are rejected up front.
+func TestPhloemsimNativeBackend(t *testing.T) {
+	exitCode := func(args ...string) (int, string) {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(binDir, "phloemsim"), args...)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return 0, string(out)
+		}
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("phloemsim %v: %v\n%s", args, err, out)
+		}
+		return ee.ExitCode(), string(out)
+	}
+	native := func(extra ...string) []string {
+		return append([]string{"-bench", "BFS", "-input", "road-ny", "-backend", "native"}, extra...)
+	}
+
+	code, out := exitCode(native()...)
+	if code != 0 {
+		t.Fatalf("native run: exit %d, want 0:\n%s", code, out)
+	}
+	for _, want := range []string{"(native)", "wall on", "not simulated cycles"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("native output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "speedup") {
+		t.Errorf("native run must not claim a cycle speedup:\n%s", out)
+	}
+
+	// Same guardrail demos, same exit codes as the simulator.
+	code, out = exitCode(native("-inject", "deadlock")...)
+	if code != 1 {
+		t.Errorf("native deadlock: exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "injected_dead") {
+		t.Errorf("native deadlock report should name the blocking queue:\n%s", out)
+	}
+	if code, out := exitCode(native("-inject", "trap")...); code != 3 {
+		t.Errorf("native trap: exit %d, want 3:\n%s", code, out)
+	}
+	if code, out := exitCode(native("-timeout", "1ns")...); code != 4 {
+		t.Errorf("native expired -timeout: exit %d, want 4:\n%s", code, out)
+	}
+	// -trace-limit is the budget mechanism shared by both backends.
+	if code, out := exitCode(native("-trace-limit", "100")...); code != 2 {
+		t.Errorf("native trace limit: exit %d, want 2:\n%s", code, out)
+	}
+	if code, out := exitCode("-bench", "BFS", "-input", "road-ny", "-trace-limit", "100"); code != 2 {
+		t.Errorf("sim trace limit: exit %d, want 2:\n%s", code, out)
+	}
+
+	// Simulator-only flags are rejected before any run starts.
+	csv := filepath.Join(t.TempDir(), "series.csv")
+	code, out = exitCode(native("-telemetry", csv)...)
+	if code != 1 || !strings.Contains(out, "requires -backend sim") {
+		t.Errorf("-telemetry under native should exit 1 with a gating message, got %d:\n%s", code, out)
+	}
+	if code, out := exitCode(native("-cycle-budget", "1000")...); code != 1 ||
+		!strings.Contains(out, "requires -backend sim") {
+		t.Errorf("-cycle-budget under native should exit 1, got %d:\n%s", code, out)
+	}
+	// -commopt is a compile-side pass; it must still work natively.
+	if code, out := exitCode(native("-commopt")...); code != 0 {
+		t.Errorf("native -commopt run: exit %d, want 0:\n%s", code, out)
+	}
+	if code, _ := exitCode("-bench", "BFS", "-input", "road-ny", "-backend", "gpu"); code != 1 {
+		t.Errorf("unknown backend: exit %d, want 1", code)
+	}
+}
+
+// TestPhloembenchBenchdiffNative drives the regression gate against the
+// committed native report: self-diff is clean, tampering with a
+// deterministic column (instructions) regresses, and tripling a wall-time
+// column changes nothing — wall clock is never a gated metric.
+func TestPhloembenchBenchdiffNative(t *testing.T) {
+	committed := "../BENCH_native.json"
+	data, err := os.ReadFile(committed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	write := func(rep map[string]any) string {
+		t.Helper()
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := filepath.Join(t.TempDir(), "native.json")
+		if err := os.WriteFile(f, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+
+	exitCode := func(args ...string) (int, string) {
+		t.Helper()
+		out, err := exec.Command(filepath.Join(binDir, "phloembench"), args...).CombinedOutput()
+		if err == nil {
+			return 0, string(out)
+		}
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("phloembench %v: %v\n%s", args, err, out)
+		}
+		return ee.ExitCode(), string(out)
+	}
+
+	if code, out := exitCode("-benchdiff", committed, committed); code != 0 ||
+		!strings.Contains(out, "ok: no metric changes") {
+		t.Errorf("native self-diff should exit 0 clean, got %d:\n%s", code, out)
+	}
+
+	row := rep["benchmarks"].([]any)[0].(map[string]any)
+	row["instructions"] = float64(int64(row["instructions"].(float64) * 2))
+	code, out := exitCode("-benchdiff", committed, write(rep))
+	if code != 3 || !strings.Contains(out, "REGRESSION") {
+		t.Errorf("doubled instructions should exit 3 with a REGRESSION line, got %d:\n%s", code, out)
+	}
+
+	// Wall time changes are invisible to the gate.
+	var fresh map[string]any
+	if err := json.Unmarshal(data, &fresh); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range fresh["benchmarks"].([]any) {
+		m := b.(map[string]any)
+		m["sim_wall_ms"] = m["sim_wall_ms"].(float64) * 3
+		m["native_wall_ms"] = m["native_wall_ms"].(float64) * 3
+	}
+	if code, out := exitCode("-benchdiff", committed, write(fresh)); code != 0 {
+		t.Errorf("tripled wall columns should exit 0, got %d:\n%s", code, out)
+	}
+
+	// Mixed report kinds are a usage-level error (1).
+	if code, _ := exitCode("-benchdiff", committed, "../BENCH_commopt.json"); code != 1 {
+		t.Errorf("native-vs-commopt diff should exit 1, got %d", code)
+	}
+}
+
 // TestPhloemsimTelemetry drives the observability flags end to end: the
 // stall profile prints, the series and Chrome trace land on disk well-formed,
 // and a second identical run reproduces both files byte for byte.

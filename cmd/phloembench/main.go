@@ -26,7 +26,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: table3|table4|table5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|ablations|chaos|telemetry|search|interrupt|commopt|compare|all")
+		"experiment: table3|table4|table5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|ablations|chaos|telemetry|search|interrupt|commopt|native|compare|all")
 	scale := flag.String("scale", "test", "input scale: test|full")
 	verbose := flag.Bool("v", false, "print per-input rows")
 	chaosSeeds := flag.Int("chaos-seeds", 4, "seeded fault plans to add to the chaos sweep (beyond the named plans)")
@@ -36,6 +36,8 @@ func main() {
 		"output path for the -exp search report (for -exp compare: the committed report to diff against; \"\" skips it)")
 	commOptOut := flag.String("commopt-out", "BENCH_commopt.json",
 		"output path for the -exp commopt report (for -exp compare: the committed report to diff against; \"\" skips it)")
+	nativeOut := flag.String("native-out", "BENCH_native.json",
+		"output path for the -exp native report (sim-vs-native wall time and the scale sweep)")
 	topK := flag.Int("topk", 0,
 		"with -exp search: K for the static rank-and-prune leg (0 = default 5)")
 	benchdiff := flag.Bool("benchdiff", false,
@@ -121,6 +123,11 @@ func main() {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *commOptOut)
+		case "native":
+			if err := bench.NativeJSON(cfg, *nativeOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *nativeOut)
 		case "compare":
 			findings, err := bench.Compare(cfg, *searchOut, *commOptOut, diffOpt)
 			if err != nil {

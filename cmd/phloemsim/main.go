@@ -14,6 +14,7 @@
 //	phloemsim -bench BFS -chrome-trace out.json # chrome://tracing timeline
 //	phloemsim -bench BFS -telemetry s.csv -interval 1000
 //	phloemsim -bench Radii -commopt             # apply commopt; occupancy table
+//	phloemsim -bench BFS -backend native        # run on real Go concurrency
 //
 // With -commopt the compiled pipeline additionally runs through the static
 // queue-communication optimization pass (internal/commopt) before
@@ -21,9 +22,18 @@
 // run a per-queue table compares the statically predicted maximum
 // occupancy against the occupancy the simulator actually observed.
 //
+// With -backend native both legs execute on the native backend
+// (internal/native): one goroutine per stage and RA, one bounded channel
+// per queue. There is no cycle model, so the summary reports wall time,
+// and the simulator-only flags (-telemetry, -profile, -chrome-trace,
+// -faults, -cycle-budget) are rejected. -commopt still applies (its
+// capacities size the native channels), but the occupancy table needs the
+// simulator's probe and is skipped.
+//
 // Exit codes: 0 success, 1 compile failure/deadlock/any other error,
 // 2 cycle or trace budget exceeded, 3 functional trap, 4 wall-clock
-// timeout (-timeout) or interruption.
+// timeout (-timeout) or interruption. The contract is backend-independent:
+// the native backend fails with the same sentinel error classes.
 package main
 
 import (
@@ -101,6 +111,7 @@ func run() int {
 	benchName := flag.String("bench", "BFS", "benchmark: BFS|CC|PRD|Radii|SpMM")
 	inputName := flag.String("input", "", "input name (default: the road-like test input)")
 	cycleBudget := flag.Uint64("cycle-budget", 0, "abort any run past this many cycles (exit code 2)")
+	traceLimit := flag.Int("trace-limit", 0, "abort any run past this many executed instructions (exit code 2; works on both backends)")
 	timeout := flag.Duration("timeout", 0, "abort any run past this wall-clock duration (exit code 4)")
 	faultPlan := flag.String("faults", "", "timing-fault plan: a named plan or seed-N (results must still match); 'list' prints all plans")
 	inject := flag.String("inject", "", "sabotage the pipeline to demo guardrails: deadlock|trap")
@@ -111,6 +122,8 @@ func run() int {
 	interval := flag.Uint64("interval", 0, "telemetry sampling period in cycles (0: one end-of-run sample)")
 	commOpt := flag.Bool("commopt", false,
 		"apply the static queue-communication optimization pass and print its plan plus a predicted-vs-observed occupancy table")
+	backendName := flag.String("backend", "sim",
+		"execution backend: sim (cycle-accurate simulator) or native (real Go concurrency; wall time + functional results, no cycle model)")
 	flag.Parse()
 
 	fail := func(err error) int {
@@ -121,6 +134,26 @@ func run() int {
 	if *faultPlan == "list" {
 		listFaults()
 		return 0
+	}
+
+	backend, err := core.ParseBackend(*backendName)
+	if err != nil {
+		return fail(err)
+	}
+	if backend == core.BackendNative {
+		// These features live in the timing simulator; there is no cycle
+		// model or probe stream to drive natively.
+		for flagName, set := range map[string]bool{
+			"-telemetry":    *seriesOut != "",
+			"-profile":      *profile,
+			"-chrome-trace": *chromeOut != "",
+			"-faults":       *faultPlan != "",
+			"-cycle-budget": *cycleBudget != 0,
+		} {
+			if set {
+				return fail(fmt.Errorf("%s requires -backend sim (the native backend has no cycle model)", flagName))
+			}
+		}
 	}
 
 	bench, err := workloads.ByName(workloads.ScaleTest, *benchName)
@@ -161,13 +194,16 @@ func run() int {
 	if err != nil {
 		return fail(err)
 	}
-	runPipe := func(name string, p *pipeline.Pipeline, col *telemetry.Collector) (uint64, error) {
+	runPipe := func(name string, p *pipeline.Pipeline, col *telemetry.Collector) (*core.ExecStats, error) {
 		inst, err := pipeline.Instantiate(p, arch.DefaultConfig(1), in.Bind())
 		if err != nil {
-			return 0, fmt.Errorf("%s: %w", name, err)
+			return nil, fmt.Errorf("%s: %w", name, err)
 		}
 		plan.Apply(inst.Machine)
 		inst.Machine.Cfg.CycleBudget = *cycleBudget
+		if *traceLimit > 0 {
+			inst.Machine.MaxTraceEntries = *traceLimit
+		}
 		if *timeout > 0 {
 			inst.Machine.WallDeadline = time.Now().Add(*timeout)
 		}
@@ -175,15 +211,15 @@ func run() int {
 			inst.Machine.Probe = col
 			inst.Machine.Cfg.TelemetryInterval = *interval
 		}
-		st, err := inst.Run()
+		st, err := core.Execute(inst, backend)
 		if err != nil {
-			return 0, fmt.Errorf("%s: %w", name, err)
+			return nil, fmt.Errorf("%s: %w", name, err)
 		}
 		if err := in.Verify(inst); err != nil {
-			return 0, fmt.Errorf("%s: %w", name, err)
+			return nil, fmt.Errorf("%s: %w", name, err)
 		}
-		fmt.Printf("--- %s\n%s", name, st.String())
-		return st.Cycles, nil
+		fmt.Printf("--- %s (%s)\n%s", name, backend, st.Report)
+		return st, nil
 	}
 
 	sc, err := runPipe("serial", pipeline.NewSerial(serialProg), nil)
@@ -205,7 +241,7 @@ func run() int {
 	}
 	fmt.Printf("--- phloem pipeline\n%s", res.Pipeline.Describe())
 	var col *telemetry.Collector
-	if *seriesOut != "" || *profile || *chromeOut != "" || *commOpt {
+	if backend == core.BackendSim && (*seriesOut != "" || *profile || *chromeOut != "" || *commOpt) {
 		col = telemetry.NewCollector()
 		// Stamp the run's identity into the trace header so a sim-level
 		// trace can be matched to the bench/input (and, under the
@@ -223,10 +259,18 @@ func run() int {
 			return fail(err)
 		}
 	}
-	if plan2 != nil {
+	if plan2 != nil && col != nil {
 		printOccupancy(plan2, col.Series())
 	}
-	fmt.Printf("\nspeedup on %s: %.2fx\n", in.Name, float64(sc)/float64(pc))
+	if backend == core.BackendNative {
+		// No cycle model natively: report wall time, and say what it is
+		// not — on a single-core host this is serial-interpreter vs
+		// goroutine-pipeline wall clock, not simulated speedup.
+		fmt.Printf("\nwall on %s: serial %v, phloem %v (%s backend; wall-clock on this host, not simulated cycles)\n",
+			in.Name, sc.Wall.Round(time.Microsecond), pc.Wall.Round(time.Microsecond), backend)
+		return 0
+	}
+	fmt.Printf("\nspeedup on %s: %.2fx\n", in.Name, float64(sc.Cycles)/float64(pc.Cycles))
 	return 0
 }
 

@@ -173,6 +173,18 @@ type QueueSpec struct {
 	DepthByPass bool
 }
 
+// Capacity resolves the queue's bounded capacity for an executor: the
+// author- or pass-assigned Depth when positive, otherwise the machine
+// default. Both the timing simulator and the native backend size their
+// buffers through this, so a commopt-assigned DepthByPass capacity is
+// honored identically by every backend.
+func (q QueueSpec) Capacity(defaultDepth int) int {
+	if q.Depth > 0 {
+		return q.Depth
+	}
+	return defaultDepth
+}
+
 // FanOut declares a hardware multicast: every data value enqueued to Src is
 // also delivered to each queue in Dst, in the same order. Control-tagged
 // entries are not duplicated — Dst queues carry a pure data stream. The

@@ -251,76 +251,97 @@ func RenderDiff(w io.Writer, title string, findings []DiffFinding) {
 	}
 }
 
-// reportKind sniffs which BENCH_*.json schema a file holds.
-type reportKind int
+// LoadedReport holds whichever BENCH_*.json schema a file was sniffed as;
+// exactly one field is non-nil.
+type LoadedReport struct {
+	Search  *SearchReport
+	CommOpt *CommOptReport
+	Native  *NativeReport
+}
 
-const (
-	kindUnknown reportKind = iota
-	kindSearch
-	kindCommOpt
-)
+func (r *LoadedReport) kind() string {
+	switch {
+	case r.Search != nil:
+		return "search"
+	case r.CommOpt != nil:
+		return "commopt"
+	case r.Native != nil:
+		return "native"
+	}
+	return "unknown"
+}
 
-// LoadReport reads a BENCH_*.json file, detecting its schema: a commopt
-// report's benchmarks carry legs, a search report's carry enumerated
-// counts.
-func LoadReport(path string) (*SearchReport, *CommOptReport, error) {
+// LoadReport reads a BENCH_*.json file, detecting its schema from the
+// benchmark rows: a commopt report's carry legs, a search report's carry
+// enumerated counts, a native report's carry native wall columns.
+func LoadReport(path string) (*LoadedReport, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	var probe struct {
 		Benchmarks []map[string]json.RawMessage `json:"benchmarks"`
 	}
 	if err := json.Unmarshal(data, &probe); err != nil {
-		return nil, nil, fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	kind := kindUnknown
+	out := &LoadedReport{}
+	var into any
 	if len(probe.Benchmarks) > 0 {
-		if _, ok := probe.Benchmarks[0]["legs"]; ok {
-			kind = kindCommOpt
-		} else if _, ok := probe.Benchmarks[0]["enumerated"]; ok {
-			kind = kindSearch
+		row := probe.Benchmarks[0]
+		switch {
+		case hasKey(row, "legs"):
+			out.CommOpt = &CommOptReport{}
+			into = out.CommOpt
+		case hasKey(row, "enumerated"):
+			out.Search = &SearchReport{}
+			into = out.Search
+		case hasKey(row, "native_wall_ms"):
+			out.Native = &NativeReport{}
+			into = out.Native
 		}
 	}
-	switch kind {
-	case kindSearch:
-		var rep SearchReport
-		if err := json.Unmarshal(data, &rep); err != nil {
-			return nil, nil, fmt.Errorf("%s: %w", path, err)
-		}
-		return &rep, nil, nil
-	case kindCommOpt:
-		var rep CommOptReport
-		if err := json.Unmarshal(data, &rep); err != nil {
-			return nil, nil, fmt.Errorf("%s: %w", path, err)
-		}
-		return nil, &rep, nil
+	if into == nil {
+		return nil, fmt.Errorf("%s: not a recognized BENCH report (no search/commopt/native benchmark rows)", path)
 	}
-	return nil, nil, fmt.Errorf("%s: not a recognized BENCH report (no search/commopt benchmark rows)", path)
+	if err := json.Unmarshal(data, into); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+func hasKey(m map[string]json.RawMessage, k string) bool {
+	_, ok := m[k]
+	return ok
 }
 
 // DiffReportFiles diffs two report files of the same sniffed kind, printing
 // to w and returning the findings.
 func DiffReportFiles(w io.Writer, oldPath, newPath string, opt DiffOptions) ([]DiffFinding, error) {
-	oldS, oldC, err := LoadReport(oldPath)
+	old, err := LoadReport(oldPath)
 	if err != nil {
 		return nil, err
 	}
-	newS, newC, err := LoadReport(newPath)
+	new, err := LoadReport(newPath)
 	if err != nil {
 		return nil, err
 	}
+	title := fmt.Sprintf("%s report %s vs %s", old.kind(), oldPath, newPath)
 	switch {
-	case oldS != nil && newS != nil:
-		f := DiffSearchReports(oldS, newS, opt)
-		RenderDiff(w, fmt.Sprintf("search report %s vs %s", oldPath, newPath), f)
+	case old.Search != nil && new.Search != nil:
+		f := DiffSearchReports(old.Search, new.Search, opt)
+		RenderDiff(w, title, f)
 		return f, nil
-	case oldC != nil && newC != nil:
-		f := DiffCommOptReports(oldC, newC, opt)
-		RenderDiff(w, fmt.Sprintf("commopt report %s vs %s", oldPath, newPath), f)
+	case old.CommOpt != nil && new.CommOpt != nil:
+		f := DiffCommOptReports(old.CommOpt, new.CommOpt, opt)
+		RenderDiff(w, title, f)
+		return f, nil
+	case old.Native != nil && new.Native != nil:
+		f := DiffNativeReports(old.Native, new.Native, opt)
+		RenderDiff(w, title, f)
 		return f, nil
 	}
-	return nil, fmt.Errorf("report kinds differ: %s vs %s", oldPath, newPath)
+	return nil, fmt.Errorf("report kinds differ: %s (%s) vs %s (%s)", oldPath, old.kind(), newPath, new.kind())
 }
 
 // Compare re-runs the search and commopt suites at the committed reports'
@@ -332,10 +353,11 @@ func DiffReportFiles(w io.Writer, oldPath, newPath string, opt DiffOptions) ([]D
 func Compare(cfg Config, searchPath, commoptPath string, opt DiffOptions) ([]DiffFinding, error) {
 	var all []DiffFinding
 	if searchPath != "" {
-		committed, _, err := LoadReport(searchPath)
+		loaded, err := LoadReport(searchPath)
 		if err != nil {
 			return nil, err
 		}
+		committed := loaded.Search
 		if committed == nil {
 			return nil, fmt.Errorf("%s: not a search report", searchPath)
 		}
@@ -352,10 +374,11 @@ func Compare(cfg Config, searchPath, commoptPath string, opt DiffOptions) ([]Dif
 		all = append(all, f...)
 	}
 	if commoptPath != "" {
-		_, committed, err := LoadReport(commoptPath)
+		loaded, err := LoadReport(commoptPath)
 		if err != nil {
 			return nil, err
 		}
+		committed := loaded.CommOpt
 		if committed == nil {
 			return nil, fmt.Errorf("%s: not a commopt report", commoptPath)
 		}

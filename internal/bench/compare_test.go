@@ -40,6 +40,70 @@ func commoptFixture() *CommOptReport {
 	}
 }
 
+// nativeFixture builds a small native report: one seed-scale row plus a
+// two-size sweep where the simulator DNFs at the larger size.
+func nativeFixture() *NativeReport {
+	return &NativeReport{
+		HostInfo:         HostInfo{GOMAXPROCS: 1, NumCPU: 1, GoVersion: "go1.24.0", Scale: "test"},
+		Note:             "fixture",
+		SweepCycleBudget: NativeSweepCycleBudget,
+		SimDNF:           1,
+		MinSpeedup:       6.5, GeomeanSpeedup: 8.1,
+		Benchmarks: []NativeRow{
+			{Name: "BFS", Input: "road-usa", Stages: 4, Queues: 6,
+				Cycles: 100000, Instructions: 500000,
+				SimWallMS: 130, NativeWallMS: 20, Speedup: 6.5},
+		},
+		Sweep: []NativeSweepRow{
+			{Input: "grid-50x50", Vertices: 2500, Edges: 5000, SimOK: true,
+				SimStatus: "ok", SimCycles: 100000, Instructions: 500000,
+				SimWallMS: 130, NativeWallMS: 20},
+			{Input: "grid-400x400", Vertices: 160000, Edges: 320000,
+				SimStatus: "cycle-budget", Instructions: 32000000, NativeWallMS: 900},
+		},
+	}
+}
+
+// TestDiffNative: wall/speedup columns are never compared; cycles and
+// instruction counts are; losing sweep reach (sim_ok true -> false) and a
+// DNF-count change regress.
+func TestDiffNative(t *testing.T) {
+	if r := Regressions(DiffNativeReports(nativeFixture(), nativeFixture(), DefaultDiffOptions())); len(r) != 0 {
+		t.Errorf("identical native reports regressed: %+v", r)
+	}
+
+	// Wall-time noise must be invisible: triple every wall column.
+	noisy := nativeFixture()
+	noisy.Benchmarks[0].SimWallMS *= 3
+	noisy.Benchmarks[0].NativeWallMS *= 3
+	noisy.Benchmarks[0].Speedup = 1
+	noisy.MinSpeedup, noisy.GeomeanSpeedup = 1, 1
+	noisy.Sweep[0].NativeWallMS *= 3
+	f := DiffNativeReports(nativeFixture(), noisy, DefaultDiffOptions())
+	for _, x := range f {
+		if x.Changed {
+			t.Errorf("wall-only change surfaced as a compared metric: %+v", x)
+		}
+	}
+
+	worse := nativeFixture()
+	worse.Benchmarks[0].Instructions = 800000 // +60%
+	worse.Sweep[0].SimOK = false
+	worse.Sweep[0].SimStatus = "cycle-budget"
+	worse.SimDNF = 2
+	r := Regressions(DiffNativeReports(nativeFixture(), worse, DefaultDiffOptions()))
+	var metrics []string
+	for _, x := range r {
+		metrics = append(metrics, x.Metric)
+	}
+	got := strings.Join(metrics, ",")
+	for _, want := range []string{"instructions", "sim_ok", "sim_dnf"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("want %q regression, got %v", want, r)
+		}
+	}
+}
+
 func TestDiffSearchIdentical(t *testing.T) {
 	f := DiffSearchReports(searchFixture(), searchFixture(), DefaultDiffOptions())
 	if len(f) == 0 {
@@ -150,14 +214,18 @@ func TestLoadReportSniffing(t *testing.T) {
 	}
 	sp := write("search.json", searchFixture())
 	cp := write("commopt.json", commoptFixture())
-	if s, c, err := LoadReport(sp); err != nil || s == nil || c != nil {
-		t.Errorf("search.json sniffed wrong: %v %v %v", s, c, err)
+	np := write("native.json", nativeFixture())
+	if r, err := LoadReport(sp); err != nil || r.Search == nil || r.CommOpt != nil || r.Native != nil {
+		t.Errorf("search.json sniffed wrong: %+v %v", r, err)
 	}
-	if s, c, err := LoadReport(cp); err != nil || s != nil || c == nil {
-		t.Errorf("commopt.json sniffed wrong: %v %v %v", s, c, err)
+	if r, err := LoadReport(cp); err != nil || r.CommOpt == nil || r.Search != nil || r.Native != nil {
+		t.Errorf("commopt.json sniffed wrong: %+v %v", r, err)
+	}
+	if r, err := LoadReport(np); err != nil || r.Native == nil || r.Search != nil || r.CommOpt != nil {
+		t.Errorf("native.json sniffed wrong: %+v %v", r, err)
 	}
 	junk := write("junk.json", map[string]any{"benchmarks": []map[string]any{{"name": "x"}}})
-	if _, _, err := LoadReport(junk); err == nil {
+	if _, err := LoadReport(junk); err == nil {
 		t.Error("unrecognizable report should error")
 	}
 
@@ -169,15 +237,25 @@ func TestLoadReportSniffing(t *testing.T) {
 	if !strings.Contains(buf.String(), "ok: no metric changes") {
 		t.Errorf("self-diff should render clean:\n%s", buf.String())
 	}
+	buf.Reset()
+	if _, err := DiffReportFiles(&buf, np, np, DefaultDiffOptions()); err != nil {
+		t.Errorf("native self-diff: %v", err)
+	}
+	if !strings.Contains(buf.String(), "ok: no metric changes") {
+		t.Errorf("native self-diff should render clean:\n%s", buf.String())
+	}
 	if _, err := DiffReportFiles(&buf, sp, cp, DefaultDiffOptions()); err == nil {
 		t.Error("mixed-kind diff should error")
+	}
+	if _, err := DiffReportFiles(&buf, np, sp, DefaultDiffOptions()); err == nil {
+		t.Error("native-vs-search diff should error")
 	}
 }
 
 // TestHostInfoHeader: both report schemas flatten the shared HostInfo block
 // into their JSON headers.
 func TestHostInfoHeader(t *testing.T) {
-	for name, v := range map[string]any{"search": searchFixture(), "commopt": commoptFixture()} {
+	for name, v := range map[string]any{"search": searchFixture(), "commopt": commoptFixture(), "native": nativeFixture()} {
 		data, err := json.Marshal(v)
 		if err != nil {
 			t.Fatal(err)

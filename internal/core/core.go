@@ -146,6 +146,13 @@ type Options struct {
 	// degrades gracefully to re-measurement; without Resume an existing
 	// journal is truncated and rewritten.
 	Resume bool
+	// Backend selects the execution engine Execute uses when a caller
+	// runs the compiled pipeline through core: the cycle-accurate
+	// simulator (default) or the native Go-concurrency backend (wall
+	// time and functional results only; see internal/native). Compile
+	// itself never consults it — autotune measurement always needs the
+	// timing model — so compiled output is identical for every value.
+	Backend Backend
 
 	// obsw is the resolved Observer emission state (nil = disabled),
 	// threaded on the Options copy so build/verify sites deep in the flow

@@ -1,0 +1,101 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"phloem/internal/arch"
+	"phloem/internal/core"
+	"phloem/internal/pipeline"
+	"phloem/internal/sim"
+	"phloem/internal/workloads"
+)
+
+// TestExecuteBackends runs the same compiled pipeline through Execute on
+// both backends: instruction counts must agree, the native path must not
+// invent cycles, and both must satisfy the workload's verifier.
+func TestExecuteBackends(t *testing.T) {
+	b, err := workloads.ByName(workloads.ScaleTest, "BFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := workloads.CompileSerial(b.SerialSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Compile(prog, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := b.Test[0]
+
+	run := func(be core.Backend) *core.ExecStats {
+		inst, err := pipeline.Instantiate(res.Pipeline, arch.DefaultConfig(1), in.Bind())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := core.Execute(inst, be)
+		if err != nil {
+			t.Fatalf("%v: %v", be, err)
+		}
+		if err := in.Verify(inst); err != nil {
+			t.Fatalf("%v: %v", be, err)
+		}
+		return st
+	}
+	ss, ns := run(core.BackendSim), run(core.BackendNative)
+	if ss.Instructions != ns.Instructions {
+		t.Errorf("instruction counts diverge: sim %d, native %d", ss.Instructions, ns.Instructions)
+	}
+	if ss.Cycles == 0 {
+		t.Error("sim backend reported zero cycles")
+	}
+	if ns.Cycles != 0 {
+		t.Errorf("native backend invented %d cycles", ns.Cycles)
+	}
+	if ss.Report == "" || ns.Report == "" {
+		t.Error("empty backend report")
+	}
+}
+
+// TestExecuteSentinels: guardrail errors surface with the same sentinel
+// classes through Execute regardless of backend.
+func TestExecuteSentinels(t *testing.T) {
+	b, err := workloads.ByName(workloads.ScaleTest, "BFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := workloads.CompileSerial(b.SerialSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Compile(prog, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, be := range []core.Backend{core.BackendSim, core.BackendNative} {
+		inst, err := pipeline.Instantiate(res.Pipeline, arch.DefaultConfig(1), b.Test[0].Bind())
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst.Machine.MaxTraceEntries = 100
+		if _, err := core.Execute(inst, be); !errors.Is(err, sim.ErrTraceLimit) {
+			t.Errorf("%v: got %v, want ErrTraceLimit", be, err)
+		}
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	for s, want := range map[string]core.Backend{"sim": core.BackendSim, "native": core.BackendNative} {
+		got, err := core.ParseBackend(s)
+		if err != nil || got != want {
+			t.Errorf("ParseBackend(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Errorf("%v.String() = %q, want %q", got, got.String(), s)
+		}
+	}
+	if _, err := core.ParseBackend("gpu"); err == nil {
+		t.Error("ParseBackend accepted an unknown backend")
+	}
+}

@@ -1,0 +1,65 @@
+package native
+
+import "sync"
+
+// barrier reproduces the functional engine's release rule: all waiting
+// threads are released when every *live* (non-halted) stage is waiting.
+// A stage that halts leaves the barrier group, which can itself release
+// the remaining waiters — exactly like releaseBarriers recomputing the
+// live count each round.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	live    int
+	waiting int
+	gen     uint64
+	aborted bool
+}
+
+func newBarrier(live int) *barrier {
+	b := &barrier{live: live}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until the barrier releases; false means the run aborted.
+func (b *barrier) wait() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.aborted {
+		return false
+	}
+	b.waiting++
+	if b.waiting == b.live {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+		return true
+	}
+	gen := b.gen
+	for b.gen == gen && !b.aborted {
+		b.cond.Wait()
+	}
+	return !b.aborted
+}
+
+// leave retires a halted stage from the barrier group, releasing the
+// remaining waiters if they are now all of the live stages.
+func (b *barrier) leave() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.live--
+	if b.live > 0 && b.waiting == b.live {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+	}
+}
+
+// abort wakes every waiter with failure.
+func (b *barrier) abort() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.aborted = true
+	b.cond.Broadcast()
+}

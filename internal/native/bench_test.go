@@ -1,0 +1,97 @@
+package native_test
+
+// Allocation discipline for the native executor, mirroring the simulator's
+// growDouble rule: steady-state per-run allocations are bounded by pipeline
+// shape (goroutines, channels, executor frames), never by workload size —
+// register files, peek stashes, and RA batches come from a sync.Pool, and
+// values travel through channels by value. BenchmarkNative* measure it;
+// TestNativeAllocRegression pins a ceiling so a per-message allocation
+// sneaking into the hot path fails CI rather than slowly eroding the
+// backend's reason to exist.
+
+import (
+	"testing"
+
+	"phloem/internal/arch"
+	"phloem/internal/core"
+	"phloem/internal/native"
+	"phloem/internal/pipeline"
+	"phloem/internal/workloads"
+)
+
+// benchInstance compiles family name at test scale (commopt on, so native
+// channels carry pass-inferred capacities) and instantiates its largest
+// test input. The returned instance is safe to re-run: every family's
+// outputs are pure functions of its inputs, and stage register files are
+// re-initialized per run.
+func benchInstance(tb testing.TB, name string) (*pipeline.Instance, *workloads.Input) {
+	tb.Helper()
+	opt := core.DefaultOptions()
+	opt.CommOpt = true
+	for _, b := range workloads.Benchmarks(workloads.ScaleTest) {
+		if b.Name != name {
+			continue
+		}
+		prog, err := workloads.CompileSerial(b.SerialSource)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		res, err := core.Compile(prog, opt)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		in := b.Test[len(b.Test)-1]
+		inst, err := pipeline.Instantiate(res.Pipeline, arch.DefaultConfig(1), in.Bind())
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return inst, in
+	}
+	tb.Fatalf("no benchmark family %q", name)
+	return nil, nil
+}
+
+func benchNative(b *testing.B, family string) {
+	inst, _ := benchInstance(b, family)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := native.Run(inst.Machine, native.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNativeSpMM(b *testing.B) { benchNative(b, "SpMM") }
+func BenchmarkNativeBFS(b *testing.B)  { benchNative(b, "BFS") }
+
+// TestNativeAllocRegression pins the steady-state allocation ceiling.
+// Measured on the seed host: ~60 allocs/op for the commopt SpMM pipeline
+// (goroutine stacks, channels, executor frames — all O(stages+queues)).
+// The ceiling leaves ~3x headroom for runtime variance; what it must catch
+// is a per-message or per-element allocation, which would blow through it
+// by orders of magnitude on these inputs (thousands of tokens per run).
+func TestNativeAllocRegression(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	if testing.Short() {
+		t.Skip("benchmark-backed test")
+	}
+	inst, in := benchInstance(t, "SpMM")
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := native.Run(inst.Machine, native.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	const ceiling = 200
+	if got := r.AllocsPerOp(); got > ceiling {
+		t.Errorf("native run allocates %d objects/op, ceiling %d — a per-message allocation has crept into the hot path", got, ceiling)
+	}
+	if err := in.Verify(inst); err != nil {
+		t.Errorf("benchmarked instance no longer verifies: %v", err)
+	}
+}

@@ -1,0 +1,178 @@
+package native_test
+
+// FuzzNativeDiff feeds arbitrary source strings through the full compile
+// flow and, whenever a pipeline builds, runs it on both the functional
+// simulator and the native backend from synthesized bindings. The oracle:
+// when both succeed the output memory must match bitwise and the executed
+// instruction counts must be equal; when the functional run fails, the
+// native run must fail in the same sentinel class (trap/deadlock/limit) —
+// except that a functional trace-limit may surface natively as a deadlock,
+// because a livelocked producer can block on a bounded channel before it
+// reaches the instruction cap (the documented capacity divergence).
+// Trap messages are compared only when a single stage exists; with
+// concurrent stages the first trap to fire is scheduling-dependent.
+//
+// Runs as a plain unit test over the seed corpus in `go test`; explore with
+//
+//	go test ./internal/native -fuzz FuzzNativeDiff -fuzztime 30s
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"phloem/internal/arch"
+	"phloem/internal/core"
+	"phloem/internal/ir"
+	"phloem/internal/native"
+	"phloem/internal/pipeline"
+	"phloem/internal/sim"
+)
+
+// synthBindings builds deterministic in-bounds-biased bindings for any
+// compiled pipeline: every array gets 32 elements, int contents stay in
+// [0, 32) so indirect accesses usually land in bounds (out-of-bounds ones
+// are fine too — both backends must then trap), and every scalar is 8 so
+// loop bounds stay small.
+func synthBindings(pl *pipeline.Pipeline) pipeline.Bindings {
+	b := pipeline.Bindings{
+		Ints:         map[string][]int64{},
+		Floats:       map[string][]float64{},
+		Scalars:      map[string]int64{},
+		FloatScalars: map[string]float64{},
+	}
+	for _, slot := range pl.Prog.Slots {
+		if slot.Kind == ir.KFloat {
+			fs := make([]float64, 32)
+			for i := range fs {
+				fs[i] = float64(i)*0.5 - 3
+			}
+			b.Floats[slot.Name] = fs
+		} else {
+			is := make([]int64, 32)
+			for i := range is {
+				is[i] = int64((i*3 + 1) % 32)
+			}
+			b.Ints[slot.Name] = is
+		}
+	}
+	for _, v := range pl.Prog.ScalarParams {
+		info := pl.Prog.Vars[v]
+		if info.Kind == ir.KFloat {
+			b.FloatScalars[info.Name] = 1.5
+		} else {
+			b.Scalars[info.Name] = 8
+		}
+	}
+	return b
+}
+
+func FuzzNativeDiff(f *testing.F) {
+	seeds := []string{
+		"",
+		"void k() {}",
+		"void k(int* restrict a, int n) { for (int i = 0; i < n; i = i + 1) { a[i] = i; } }",
+		`#pragma phloem
+void k(int* restrict a, int* restrict b, int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    int j = a[i];
+    if (j > 0) { b[j] = b[j] + 1; }
+  }
+}`,
+		`#pragma phloem
+void spmv(int* rows, int* cols, float* restrict vals,
+          float* restrict x, float* restrict y, int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    float acc = 0.0;
+    int kEnd = rows[i + 1];
+    for (int k = rows[i]; k < kEnd; k = k + 1) {
+      int c = cols[k];
+      acc = acc + vals[k] * x[c];
+    }
+    y[i] = acc;
+  }
+}`,
+		`#pragma phloem
+void fan(int* restrict a, int* restrict b, int* restrict c, int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    int v = a[i];
+    b[i] = v * 2;
+    c[i] = v * 2;
+  }
+}`,
+		`#pragma phloem
+void phases(int* restrict a, int* restrict b, int n) {
+  for (int i = 0; i < n; i = i + 1) { a[i] = a[i] + 1; }
+  for (int i = 0; i < n; i = i + 1) { b[a[i]] = i; }
+}`,
+		`#pragma phloem
+void div(int* restrict a, int* restrict b, int n) {
+  for (int i = 0; i < n; i = i + 1) { b[i] = n / a[i]; }
+}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	cfg := arch.DefaultConfig(1)
+	f.Fuzz(func(t *testing.T, src string) {
+		for _, commOpt := range []bool{false, true} {
+			opt := core.DefaultOptions()
+			opt.CommOpt = commOpt
+			res, err := core.CompileSource(src, opt)
+			if err != nil {
+				// Rejections are the frontend's concern (FuzzParse).
+				return
+			}
+			pl := res.Pipeline
+			bind := synthBindings(pl)
+
+			simInst, err := pipeline.Instantiate(pl, cfg, bind)
+			if err != nil {
+				t.Fatalf("instantiate(sim): %v\nsource:\n%s", err, src)
+			}
+			simInst.Machine.MaxTraceEntries = 1 << 20
+			ts, simErr := simInst.Machine.RunFunctional()
+
+			natInst, err := pipeline.Instantiate(pl, cfg, bind)
+			if err != nil {
+				t.Fatalf("instantiate(native): %v\nsource:\n%s", err, src)
+			}
+			natInst.Machine.MaxTraceEntries = 1 << 20
+			st, natErr := native.Run(natInst.Machine,
+				native.Options{WatchdogInterval: 25 * time.Millisecond})
+
+			switch {
+			case simErr == nil:
+				if natErr != nil {
+					t.Fatalf("functional succeeded, native failed: %v\nsource:\n%s", natErr, src)
+				}
+				if st.Instructions != ts.Instructions {
+					t.Fatalf("instruction counts diverge: native %d, functional %d\nsource:\n%s",
+						st.Instructions, ts.Instructions, src)
+				}
+				compareSpaces(t, "fuzz", simInst.Machine.Space, natInst.Machine.Space)
+				if t.Failed() {
+					t.Fatalf("memory diverged\nsource:\n%s", src)
+				}
+			case errors.Is(simErr, sim.ErrTrap):
+				if !errors.Is(natErr, sim.ErrTrap) {
+					t.Fatalf("functional trapped (%v), native: %v\nsource:\n%s", simErr, natErr, src)
+				}
+				if len(pl.Stages) == 1 && len(pl.RAs) == 0 && simErr.Error() != natErr.Error() {
+					t.Fatalf("single-stage trap messages differ:\n  functional: %v\n  native:     %v\nsource:\n%s",
+						simErr, natErr, src)
+				}
+			case errors.Is(simErr, sim.ErrDeadlock):
+				if !errors.Is(natErr, sim.ErrDeadlock) {
+					t.Fatalf("functional deadlocked (%v), native: %v\nsource:\n%s", simErr, natErr, src)
+				}
+			case errors.Is(simErr, sim.ErrTraceLimit):
+				if !errors.Is(natErr, sim.ErrTraceLimit) && !errors.Is(natErr, sim.ErrDeadlock) {
+					t.Fatalf("functional hit trace limit, native: %v\nsource:\n%s", natErr, src)
+				}
+			default:
+				t.Fatalf("unexpected functional error class: %v\nsource:\n%s", simErr, src)
+			}
+		}
+	})
+}

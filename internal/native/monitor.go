@@ -1,0 +1,106 @@
+package native
+
+import (
+	"time"
+
+	"phloem/internal/sim"
+)
+
+// startMonitor launches the supervisor goroutine: it maps Machine.Ctx and
+// Machine.WallDeadline onto the simulator's sentinel errors and runs the
+// no-progress watchdog. The native backend cannot detect most deadlocks
+// instantly the way the functional engine's scheduler can (the exception
+// is a dequeue from a queue whose producers have all retired, which fails
+// immediately via channel closure), so it samples the shared progress
+// counter: two consecutive stalled watchdog intervals with stages still
+// outstanding declare a deadlock with a best-effort wait-for snapshot.
+func (e *engine) startMonitor() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var ctxDone <-chan struct{}
+		if e.m.Ctx != nil {
+			ctxDone = e.m.Ctx.Done()
+		}
+		var wallC <-chan time.Time
+		if !e.m.WallDeadline.IsZero() {
+			t := time.NewTimer(time.Until(e.m.WallDeadline))
+			defer t.Stop()
+			wallC = t.C
+		}
+		tick := time.NewTicker(e.opt.WatchdogInterval)
+		defer tick.Stop()
+		last := e.progress.Load()
+		stalls := 0
+		for {
+			select {
+			case <-e.allDone:
+				return
+			case <-e.stop:
+				return
+			case <-ctxDone:
+				e.fail(&sim.CancelledError{Phase: "native", Cause: e.m.Ctx.Err()})
+				return
+			case <-wallC:
+				e.fail(&sim.WallBudgetError{Phase: "native"})
+				return
+			case <-tick.C:
+				cur := e.progress.Load()
+				if cur != last {
+					last, stalls = cur, 0
+					continue
+				}
+				stalls++
+				if stalls >= 2 {
+					e.fail(&sim.DeadlockError{Snapshot: e.snapshot(nil, 0)})
+					return
+				}
+			}
+		}
+	}()
+	return done
+}
+
+// snapshot captures a best-effort wait-for state from the published
+// per-stage wait words and channel occupancies. blocked, when non-nil,
+// is the stage that tripped a closed-queue dequeue on queue q; its wait
+// word may not reflect the block yet, so it is reported explicitly.
+func (e *engine) snapshot(blocked *stageExec, q int) *sim.WaitForSnapshot {
+	s := &sim.WaitForSnapshot{Phase: "native"}
+	queueWait := func(q int) *sim.QueueWait {
+		return &sim.QueueWait{Q: q, Name: e.m.Queues[q].Name, Len: len(e.chans[q]), Cap: cap(e.chans[q])}
+	}
+	for _, x := range e.stages {
+		word := x.wait.Load()
+		kind, wq := word>>32, int(word&0xffffffff)
+		if kind == wHalted {
+			continue
+		}
+		w := sim.StageWait{
+			Stage:  x.st.Prog.Name,
+			Thread: x.st.Thread,
+			PC:     -1,
+			Total:  len(x.st.Prog.Instrs),
+		}
+		switch {
+		case x == blocked:
+			w.State = "deq-empty"
+			w.Queue = queueWait(q)
+		case kind == wDeq:
+			w.State = "deq-empty"
+			w.Queue = queueWait(wq)
+		case kind == wEnq:
+			w.State = "enq-full"
+			w.Queue = queueWait(wq)
+		case kind == wBarrier:
+			w.State = "barrier"
+		default:
+			w.State = "other"
+		}
+		s.Stages = append(s.Stages, w)
+	}
+	for qi := range e.chans {
+		s.Queues = append(s.Queues, *queueWait(qi))
+	}
+	return s
+}

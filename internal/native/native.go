@@ -1,0 +1,364 @@
+// Package native executes a compiled pipeline as real Go concurrency
+// instead of simulating it: one goroutine per stage, one goroutine per
+// reference accelerator (a batched prefetching reader), and one bounded
+// channel per architectural queue. It consumes the same post-pass
+// sim.Machine the simulator runs — same flattened stage programs, same
+// queue specs, RA specs, fan-out edges, slot table, and memory space — so
+// any pipeline the compiler produces runs on either backend unchanged.
+//
+// Semantics follow the functional simulator exactly where both are
+// defined: identical opcode behavior (including Mov clearing the control
+// tag and shift-amount masking), identical trap conditions and messages,
+// control-value handler fires on dequeue, barrier release when every live
+// stage waits, and RA quiescence before OpSwapSlots. Differential tests
+// require bit-identical output memory state and equal executed-instruction
+// counts against sim.RunFunctional on every workload.
+//
+// The one deliberate divergence is queue capacity: the functional phase
+// uses unbounded queues, while this backend uses bounded channels sized by
+// arch.QueueSpec.Capacity — the same bound the timing model enforces. A
+// pipeline that overfills a queue nobody drains therefore backpressures
+// and deadlocks here (and in the timing phase) where the functional phase
+// would merely report leftovers; the commopt Q4 capacity argument is what
+// makes compiler-sized pipelines safe (see DESIGN.md §16).
+//
+// Failures map onto the simulator's sentinel error family, so callers
+// classify native errors with errors.Is against sim.ErrDeadlock,
+// sim.ErrTrap, sim.ErrTraceLimit, sim.ErrCancelled, and sim.ErrWallBudget
+// exactly as they do for simulated runs.
+package native
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"phloem/internal/mem"
+	"phloem/internal/sim"
+)
+
+const (
+	// defaultRABatch is the RA reader's drain-batch size: tokens greedily
+	// collected per channel rendezvous. Batching amortizes channel
+	// synchronization and presents the memory system with a window of
+	// independent loads — the software analogue of the RA's
+	// outstanding-request window.
+	defaultRABatch = 256
+	// defaultWatchdog is the no-progress interval after which the engine
+	// starts suspecting a deadlock; two consecutive stalled intervals
+	// declare one. Cheap enough to leave at 100ms; deadlock tests lower it.
+	defaultWatchdog = 100 * time.Millisecond
+	// flushEvery is how many locally-counted instructions a stage executes
+	// between flushes to the shared progress/instruction counters (and
+	// stop-flag polls) — the native analogue of sim's amortized
+	// interrupt-check period.
+	flushEvery = 1024
+	// scanChunk bounds how many elements a SCAN RA streams between
+	// progress bumps, so huge ranges can't starve the watchdog.
+	scanChunk = 4096
+)
+
+// Options tunes the native executor. The zero value is ready to use.
+type Options struct {
+	// RABatch overrides the RA drain-batch size (0: default 256).
+	RABatch int
+	// WatchdogInterval overrides the deadlock watchdog period (0: 100ms).
+	// Deadlock is declared after two consecutive stalled intervals.
+	WatchdogInterval time.Duration
+}
+
+// Stats reports a native run. Instructions counts every executed stage
+// instruction (including Halt and Barrier, excluding RA micro-events) and
+// equals sim.TraceSet.Instructions for the same machine — the
+// deterministic cross-backend work metric. Wall is host-dependent.
+type Stats struct {
+	Instructions uint64
+	Wall         time.Duration
+	// Leftover is the per-queue count of tokens never consumed, matching
+	// sim.TraceSet.Leftover (a peeked-but-never-dequeued token still counts
+	// as in its queue).
+	Leftover []int
+	Stages   int
+	RAs      int
+	Queues   int
+}
+
+func (s *Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "native: %d instructions in %v (%d stages, %d RAs, %d queues)\n",
+		s.Instructions, s.Wall, s.Stages, s.RAs, s.Queues)
+	left := 0
+	for _, n := range s.Leftover {
+		left += n
+	}
+	if left > 0 {
+		fmt.Fprintf(&sb, "native: %d leftover queue tokens\n", left)
+	}
+	return sb.String()
+}
+
+// engine holds the shared state of one native run.
+type engine struct {
+	m   *sim.Machine
+	opt Options
+
+	chans []chan sim.Value
+	// slots is the machine-wide array-slot table; OpSwapSlots exchanges
+	// two entries atomically, loads are single atomic pointer reads.
+	slots []atomic.Pointer[mem.Array]
+	// fan maps a queue id to the fan-out destinations every data enqueue
+	// into it is duplicated to (nil for ordinary queues).
+	fan [][]int
+	// raIdx maps a queue id to the RA consuming it (-1 if none); producers
+	// bump that RA's sent counter before sending so OpSwapSlots can
+	// quiesce in-flight accelerator work.
+	raIdx []int
+	// prod counts live producers per queue (stages, fan-out duplication,
+	// RA outputs). The producer that decrements a count to zero closes the
+	// channel; queues with no producers are closed at startup.
+	prod []atomic.Int32
+
+	stages []*stageExec
+	ras    []*raExec
+
+	bar *barrier
+
+	// hasSwaps gates the RA quiesce counters: pipelines without
+	// OpSwapSlots never pay for them.
+	hasSwaps bool
+	raSent   []atomic.Uint64
+	raDone   []atomic.Uint64
+
+	// instrs accumulates flushed stage instruction counts; progress
+	// additionally counts RA token completions. The watchdog declares
+	// deadlock when progress stalls; instrs over cap is the livelock guard.
+	instrs   atomic.Uint64
+	progress atomic.Uint64
+	cap      uint64
+
+	// stop is closed (once) with failure recorded when any goroutine
+	// aborts the run; stopped is the cheap flag for amortized polls.
+	stop     chan struct{}
+	stopOnce sync.Once
+	stopped  atomic.Bool
+	failure  error
+
+	wg      sync.WaitGroup
+	allDone chan struct{}
+}
+
+// Run executes the machine's stage programs natively to completion.
+// Memory side effects remain in m.Space (and m.Slots reflects any slot
+// swaps), exactly as after sim.RunFunctional. m.Ctx, m.WallDeadline, and
+// m.MaxTraceEntries are honored with the same sentinel errors as the
+// simulator.
+func Run(m *sim.Machine, opt Options) (*Stats, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	e := newEngine(m, opt)
+	start := time.Now()
+
+	for _, ra := range e.ras {
+		e.wg.Add(1)
+		go ra.run()
+	}
+	for _, st := range e.stages {
+		e.wg.Add(1)
+		go st.run()
+	}
+	monDone := e.startMonitor()
+	e.wg.Wait()
+	close(e.allDone)
+	<-monDone
+
+	if e.failure != nil {
+		return nil, e.failure
+	}
+	// A cancellation that raced the final stage exits still counts: the
+	// simulator's amortized poll has the same property.
+	if err := e.checkInterrupt(); err != nil {
+		return nil, err
+	}
+	st := &Stats{
+		Instructions: e.instrs.Load(),
+		Wall:         time.Since(start),
+		Stages:       len(e.stages),
+		RAs:          len(e.ras),
+		Queues:       len(e.chans),
+	}
+	st.Leftover = make([]int, len(e.chans))
+	for q, ch := range e.chans {
+		st.Leftover[q] = len(ch)
+	}
+	for _, sx := range e.stages {
+		for q := range sx.hasPeek {
+			if sx.hasPeek[q] {
+				st.Leftover[q]++
+			}
+		}
+		sx.release()
+	}
+	for _, ra := range e.ras {
+		ra.release()
+	}
+	// Write final slot bindings back so callers observe swaps exactly as
+	// they would after a functional run.
+	for i := range e.slots {
+		m.Slots[i] = e.slots[i].Load()
+	}
+	return st, nil
+}
+
+func newEngine(m *sim.Machine, opt Options) *engine {
+	if opt.RABatch <= 0 {
+		opt.RABatch = defaultRABatch
+	}
+	if opt.WatchdogInterval <= 0 {
+		opt.WatchdogInterval = defaultWatchdog
+	}
+	e := &engine{
+		m:       m,
+		opt:     opt,
+		stop:    make(chan struct{}),
+		allDone: make(chan struct{}),
+		cap:     uint64(m.MaxTraceEntries),
+	}
+	if e.cap == 0 {
+		e.cap = 64 << 20
+	}
+	e.chans = make([]chan sim.Value, len(m.Queues))
+	for q := range m.Queues {
+		e.chans[q] = make(chan sim.Value, m.Queues[q].Capacity(m.Cfg.QueueDepth))
+	}
+	e.slots = make([]atomic.Pointer[mem.Array], len(m.Slots))
+	for i, a := range m.Slots {
+		e.slots[i].Store(a)
+	}
+	if len(m.FanOuts) > 0 {
+		e.fan = make([][]int, len(m.Queues))
+		for _, f := range m.FanOuts {
+			e.fan[f.Src] = f.Dst
+		}
+	}
+	e.raIdx = make([]int, len(m.Queues))
+	for q := range e.raIdx {
+		e.raIdx[q] = -1
+	}
+	for i := range m.RAs {
+		e.raIdx[m.RAs[i].InQ] = i
+	}
+	e.raSent = make([]atomic.Uint64, len(m.RAs))
+	e.raDone = make([]atomic.Uint64, len(m.RAs))
+
+	// Static producer census. Every way a token can enter a queue is
+	// statically known: a stage enqueue, its fan-out duplication, or an RA
+	// output. Each producer decrements on clean exit; zero closes the
+	// channel, which is how consumers learn a queue can never be fed again.
+	e.prod = make([]atomic.Int32, len(m.Queues))
+	for _, st := range m.Stages {
+		u := st.Prog.QueueUse()
+		if u.HasSwap {
+			e.hasSwaps = true
+		}
+		sx := newStageExec(e, st, u)
+		for _, q := range u.Produces {
+			sx.prodQ = append(sx.prodQ, q)
+			if e.fan != nil {
+				sx.prodQ = append(sx.prodQ, e.fan[q]...)
+			}
+		}
+		for _, q := range sx.prodQ {
+			e.prod[q].Add(1)
+		}
+		e.stages = append(e.stages, sx)
+	}
+	for i := range m.RAs {
+		e.prod[m.RAs[i].OutQ].Add(1)
+		e.ras = append(e.ras, newRAExec(e, i))
+	}
+	for q := range e.prod {
+		if e.prod[q].Load() == 0 {
+			close(e.chans[q])
+		}
+	}
+	e.bar = newBarrier(len(e.stages))
+	return e
+}
+
+// producerExit retires one producer: queues whose last producer leaves are
+// closed so their consumer unblocks (drains remaining buffered tokens,
+// then observes closure).
+func (e *engine) producerExit(queues []int) {
+	for _, q := range queues {
+		if e.prod[q].Add(-1) == 0 {
+			close(e.chans[q])
+		}
+	}
+}
+
+// fail records the first failure and wakes every blocked goroutine. The
+// first caller wins; later failures (often knock-on effects of the abort)
+// are dropped, matching the functional engine's first-error semantics.
+func (e *engine) fail(err error) {
+	e.stopOnce.Do(func() {
+		e.failure = err
+		e.stopped.Store(true)
+		close(e.stop)
+		e.bar.abort()
+	})
+}
+
+// bumpInstrs flushes a stage's local instruction count and enforces the
+// livelock guard (the functional trace cap's analogue).
+func (e *engine) bumpInstrs(n uint64) {
+	if n == 0 {
+		return
+	}
+	total := e.instrs.Add(n)
+	e.progress.Add(n)
+	if total > e.cap {
+		e.fail(&sim.TraceLimitError{Entries: total, Limit: e.cap})
+	}
+}
+
+// checkInterrupt mirrors sim.Machine.checkInterrupt for the native phase.
+func (e *engine) checkInterrupt() error {
+	if e.m.Ctx != nil {
+		if err := e.m.Ctx.Err(); err != nil {
+			return &sim.CancelledError{Phase: "native", Cause: err}
+		}
+	}
+	if !e.m.WallDeadline.IsZero() && time.Now().After(e.m.WallDeadline) {
+		return &sim.WallBudgetError{Phase: "native"}
+	}
+	return nil
+}
+
+// quiesceRAs waits until every RA has fully processed every token sent
+// toward it (sent counters are bumped before the send, done counters
+// after processing, and an RA feeding another RA bumps the downstream
+// sent before its own done — so while any token is in flight at least one
+// pair disagrees). Used by OpSwapSlots so in-flight accelerator work
+// observes pre-swap bindings, exactly like the functional engine's
+// drain-then-swap.
+func (e *engine) quiesceRAs() bool {
+	for {
+		if e.stopped.Load() {
+			return false
+		}
+		idle := true
+		for i := range e.raSent {
+			if e.raSent[i].Load() != e.raDone[i].Load() {
+				idle = false
+				break
+			}
+		}
+		if idle {
+			return true
+		}
+		time.Sleep(time.Microsecond)
+	}
+}

@@ -1,0 +1,30 @@
+package native
+
+import (
+	"sync"
+
+	"phloem/internal/sim"
+)
+
+// valBuf is a pooled value slice. Register files, peek stashes, and RA
+// drain batches are recycled across runs so a caller that executes many
+// pipelines (the autotuner, a serving loop) does not re-allocate them
+// per run — the per-message path itself is allocation-free because
+// sim.Value travels by value through the channels.
+type valBuf struct{ s []sim.Value }
+
+var valPool = sync.Pool{New: func() any { return new(valBuf) }}
+
+// getBuf returns a zeroed value slice of length n, reusing pooled backing
+// storage when large enough.
+func getBuf(n int) *valBuf {
+	b := valPool.Get().(*valBuf)
+	if cap(b.s) < n {
+		b.s = make([]sim.Value, n)
+	}
+	b.s = b.s[:n]
+	clear(b.s)
+	return b
+}
+
+func (b *valBuf) put() { valPool.Put(b) }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package native_test
+
+const raceEnabled = false

@@ -1,0 +1,437 @@
+package native
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"phloem/internal/isa"
+	"phloem/internal/mem"
+	"phloem/internal/sim"
+)
+
+// Stage wait states published for deadlock snapshots, encoded into one
+// atomic word as state<<32 | queue.
+const (
+	wRunning = iota
+	wDeq
+	wEnq
+	wBarrier
+	wHalted
+)
+
+// stageExec is one stage's goroutine state: the interpreter's register
+// file, per-queue peek stash (channels cannot peek, and each queue has
+// exactly one consumer, so a one-value holdback is exact), control-value
+// handler table, and the published wait state.
+type stageExec struct {
+	e   *engine
+	st  *sim.Stage
+	use isa.QueueUse
+	// prodQ lists every queue this stage produces into, with fan-out
+	// destinations expanded, mirroring the engine's producer census.
+	prodQ []int
+
+	regsBuf *valBuf
+	regs    []sim.Value
+	peekBuf *valBuf
+	peeked  []sim.Value
+	hasPeek []bool
+	// handler maps queue id to handler pc (-1: none); nil when the
+	// program never registers one.
+	handler    []int
+	handlerVal int64
+
+	wait atomic.Int64
+}
+
+func newStageExec(e *engine, st *sim.Stage, use isa.QueueUse) *stageExec {
+	x := &stageExec{e: e, st: st, use: use}
+	x.regsBuf = getBuf(st.Prog.NumRegs)
+	x.regs = x.regsBuf.s
+	for _, ri := range st.Init {
+		x.regs[ri.Reg] = ri.Val
+	}
+	if len(use.Consumes) > 0 {
+		x.peekBuf = getBuf(len(e.chans))
+		x.peeked = x.peekBuf.s
+		x.hasPeek = make([]bool, len(e.chans))
+	}
+	if use.HasHandler {
+		x.handler = make([]int, len(e.chans))
+		for i := range x.handler {
+			x.handler[i] = -1
+		}
+	}
+	return x
+}
+
+// release returns pooled buffers after a successful run.
+func (x *stageExec) release() {
+	x.regs, x.peeked = nil, nil
+	if x.regsBuf != nil {
+		x.regsBuf.put()
+		x.regsBuf = nil
+	}
+	if x.peekBuf != nil {
+		x.peekBuf.put()
+		x.peekBuf = nil
+	}
+}
+
+func (x *stageExec) run() {
+	defer x.e.wg.Done()
+	// Typed memory-system panics become structured traps, exactly as in
+	// the functional engine; anything else is a real bug and propagates.
+	defer func() {
+		if r := recover(); r != nil {
+			me, ok := r.(*mem.Error)
+			if !ok {
+				panic(r)
+			}
+			x.e.fail(&sim.TrapError{PC: -1, Msg: me.Error()})
+		}
+	}()
+	if x.interp() {
+		x.wait.Store(wHalted << 32)
+		x.e.bar.leave()
+		x.e.producerExit(x.prodQ)
+	}
+}
+
+// trap records a functional trap with the same message the simulator
+// would produce and aborts the run.
+func (x *stageExec) trap(pc int, msg string) {
+	x.e.fail(&sim.TrapError{Stage: x.st.Prog.Name, PC: pc, Msg: msg})
+}
+
+// recv receives the next token of q, blocking until a producer delivers
+// one, the queue's last producer retires (a deadlock: the token can never
+// arrive), or the run aborts.
+func (x *stageExec) recv(q int) (sim.Value, bool) {
+	e := x.e
+	ch := e.chans[q]
+	select {
+	case v, ok := <-ch:
+		if !ok {
+			e.fail(&sim.DeadlockError{Snapshot: e.snapshot(x, q)})
+			return sim.Value{}, false
+		}
+		return v, true
+	default:
+	}
+	x.wait.Store(wDeq<<32 | int64(q))
+	select {
+	case v, ok := <-ch:
+		x.wait.Store(wRunning)
+		if !ok {
+			e.fail(&sim.DeadlockError{Snapshot: e.snapshot(x, q)})
+			return sim.Value{}, false
+		}
+		e.progress.Add(1)
+		return v, true
+	case <-e.stop:
+		return sim.Value{}, false
+	}
+}
+
+// deqVal consumes the next token of q (peeked token first).
+func (x *stageExec) deqVal(q int) (sim.Value, bool) {
+	if x.hasPeek[q] {
+		x.hasPeek[q] = false
+		return x.peeked[q], true
+	}
+	return x.recv(q)
+}
+
+// peekVal reads the next token of q without consuming it.
+func (x *stageExec) peekVal(q int) (sim.Value, bool) {
+	if !x.hasPeek[q] {
+		v, ok := x.recv(q)
+		if !ok {
+			return sim.Value{}, false
+		}
+		x.peeked[q] = v
+		x.hasPeek[q] = true
+	}
+	return x.peeked[q], true
+}
+
+// send delivers v into q, blocking while the bounded queue is full. When
+// q feeds an RA and the machine swaps slots, the RA's sent counter is
+// bumped before the send so quiescence covers tokens still in the channel.
+func (x *stageExec) send(q int, v sim.Value) bool {
+	e := x.e
+	if e.hasSwaps {
+		if ra := e.raIdx[q]; ra >= 0 {
+			e.raSent[ra].Add(1)
+		}
+	}
+	ch := e.chans[q]
+	select {
+	case ch <- v:
+		return true
+	default:
+	}
+	x.wait.Store(wEnq<<32 | int64(q))
+	select {
+	case ch <- v:
+		x.wait.Store(wRunning)
+		e.progress.Add(1)
+		return true
+	case <-e.stop:
+		return false
+	}
+}
+
+// interp runs the stage program to completion, returning true on a clean
+// OpHalt and false when the run aborted (the engine's failure is already
+// recorded by whoever aborted). Opcode semantics are a line-for-line port
+// of the functional engine's runThread.
+func (x *stageExec) interp() bool {
+	e := x.e
+	prog := x.st.Prog
+	instrs := prog.Instrs
+	regs := x.regs
+	pc := 0
+	var local uint64
+
+	for {
+		if pc < 0 || pc >= len(instrs) {
+			e.bumpInstrs(local)
+			x.trap(pc, "pc out of range")
+			return false
+		}
+		in := &instrs[pc]
+		nextPC := pc + 1
+		switch in.Op {
+		case isa.OpNop:
+		case isa.OpConst:
+			regs[in.Dst] = sim.IntVal(in.Imm)
+		case isa.OpMov:
+			v := regs[in.A]
+			v.Ctrl = false
+			regs[in.Dst] = v
+		case isa.OpIAdd:
+			regs[in.Dst] = sim.IntVal(regs[in.A].Bits + regs[in.B].Bits)
+		case isa.OpIAddImm:
+			regs[in.Dst] = sim.IntVal(regs[in.A].Bits + in.Imm)
+		case isa.OpISub:
+			regs[in.Dst] = sim.IntVal(regs[in.A].Bits - regs[in.B].Bits)
+		case isa.OpIMul:
+			regs[in.Dst] = sim.IntVal(regs[in.A].Bits * regs[in.B].Bits)
+		case isa.OpIMulImm:
+			regs[in.Dst] = sim.IntVal(regs[in.A].Bits * in.Imm)
+		case isa.OpIDiv:
+			d := regs[in.B].Bits
+			if d == 0 {
+				e.bumpInstrs(local)
+				x.trap(pc, "integer division by zero")
+				return false
+			}
+			regs[in.Dst] = sim.IntVal(regs[in.A].Bits / d)
+		case isa.OpIRem:
+			d := regs[in.B].Bits
+			if d == 0 {
+				e.bumpInstrs(local)
+				x.trap(pc, "integer remainder by zero")
+				return false
+			}
+			regs[in.Dst] = sim.IntVal(regs[in.A].Bits % d)
+		case isa.OpIAnd:
+			regs[in.Dst] = sim.IntVal(regs[in.A].Bits & regs[in.B].Bits)
+		case isa.OpIAndImm:
+			regs[in.Dst] = sim.IntVal(regs[in.A].Bits & in.Imm)
+		case isa.OpIOr:
+			regs[in.Dst] = sim.IntVal(regs[in.A].Bits | regs[in.B].Bits)
+		case isa.OpIXor:
+			regs[in.Dst] = sim.IntVal(regs[in.A].Bits ^ regs[in.B].Bits)
+		case isa.OpIShl:
+			regs[in.Dst] = sim.IntVal(regs[in.A].Bits << uint(regs[in.B].Bits&63))
+		case isa.OpIShr:
+			regs[in.Dst] = sim.IntVal(regs[in.A].Bits >> uint(regs[in.B].Bits&63))
+		case isa.OpIShrImm:
+			regs[in.Dst] = sim.IntVal(regs[in.A].Bits >> uint(in.Imm&63))
+		case isa.OpICmpEQ:
+			regs[in.Dst] = boolVal(regs[in.A].Bits == regs[in.B].Bits)
+		case isa.OpICmpNE:
+			regs[in.Dst] = boolVal(regs[in.A].Bits != regs[in.B].Bits)
+		case isa.OpICmpLT:
+			regs[in.Dst] = boolVal(regs[in.A].Bits < regs[in.B].Bits)
+		case isa.OpICmpLE:
+			regs[in.Dst] = boolVal(regs[in.A].Bits <= regs[in.B].Bits)
+		case isa.OpICmpGT:
+			regs[in.Dst] = boolVal(regs[in.A].Bits > regs[in.B].Bits)
+		case isa.OpICmpGE:
+			regs[in.Dst] = boolVal(regs[in.A].Bits >= regs[in.B].Bits)
+		case isa.OpFAdd:
+			regs[in.Dst] = sim.FloatVal(regs[in.A].Float() + regs[in.B].Float())
+		case isa.OpFSub:
+			regs[in.Dst] = sim.FloatVal(regs[in.A].Float() - regs[in.B].Float())
+		case isa.OpFMul:
+			regs[in.Dst] = sim.FloatVal(regs[in.A].Float() * regs[in.B].Float())
+		case isa.OpFDiv:
+			regs[in.Dst] = sim.FloatVal(regs[in.A].Float() / regs[in.B].Float())
+		case isa.OpFNeg:
+			regs[in.Dst] = sim.FloatVal(-regs[in.A].Float())
+		case isa.OpFAbs:
+			regs[in.Dst] = sim.FloatVal(math.Abs(regs[in.A].Float()))
+		case isa.OpFCmpEQ:
+			regs[in.Dst] = boolVal(regs[in.A].Float() == regs[in.B].Float())
+		case isa.OpFCmpNE:
+			regs[in.Dst] = boolVal(regs[in.A].Float() != regs[in.B].Float())
+		case isa.OpFCmpLT:
+			regs[in.Dst] = boolVal(regs[in.A].Float() < regs[in.B].Float())
+		case isa.OpFCmpLE:
+			regs[in.Dst] = boolVal(regs[in.A].Float() <= regs[in.B].Float())
+		case isa.OpFCmpGT:
+			regs[in.Dst] = boolVal(regs[in.A].Float() > regs[in.B].Float())
+		case isa.OpFCmpGE:
+			regs[in.Dst] = boolVal(regs[in.A].Float() >= regs[in.B].Float())
+		case isa.OpI2F:
+			regs[in.Dst] = sim.FloatVal(float64(regs[in.A].Bits))
+		case isa.OpF2I:
+			regs[in.Dst] = sim.IntVal(int64(regs[in.A].Float()))
+
+		case isa.OpLoad:
+			a := e.slots[in.Slot].Load()
+			idx := regs[in.A].Bits
+			if !a.InBounds(idx) {
+				e.bumpInstrs(local)
+				x.trap(pc, fmt.Sprintf("load %s[%d] out of bounds (len %d)", a.Name, idx, a.Len()))
+				return false
+			}
+			regs[in.Dst] = loadValue(a, idx)
+		case isa.OpPrefetch:
+			// Out-of-bounds prefetches are dropped, as hardware would; a
+			// software interpreter has nothing useful to prefetch into.
+		case isa.OpStore:
+			a := e.slots[in.Slot].Load()
+			idx := regs[in.A].Bits
+			if !a.InBounds(idx) {
+				e.bumpInstrs(local)
+				x.trap(pc, fmt.Sprintf("store %s[%d] out of bounds (len %d)", a.Name, idx, a.Len()))
+				return false
+			}
+			storeValue(a, idx, regs[in.B])
+
+		case isa.OpEnq:
+			if !x.send(in.Q, regs[in.A]) {
+				e.bumpInstrs(local)
+				return false
+			}
+			if e.fan != nil {
+				for _, d := range e.fan[in.Q] {
+					if !x.send(d, regs[in.A]) {
+						e.bumpInstrs(local)
+						return false
+					}
+				}
+			}
+		case isa.OpEnqCtrl:
+			if !x.send(in.Q, sim.CtrlVal(in.Imm)) {
+				e.bumpInstrs(local)
+				return false
+			}
+		case isa.OpEnqCtrlV:
+			if !x.send(in.Q, sim.CtrlVal(regs[in.A].Bits)) {
+				e.bumpInstrs(local)
+				return false
+			}
+		case isa.OpDeq:
+			v, ok := x.deqVal(in.Q)
+			if !ok {
+				e.bumpInstrs(local)
+				return false
+			}
+			if x.handler != nil && x.handler[in.Q] >= 0 && v.Ctrl {
+				x.handlerVal = v.Bits
+				nextPC = x.handler[in.Q]
+			} else {
+				regs[in.Dst] = v
+			}
+		case isa.OpPeek:
+			v, ok := x.peekVal(in.Q)
+			if !ok {
+				e.bumpInstrs(local)
+				return false
+			}
+			regs[in.Dst] = v
+		case isa.OpIsCtrl:
+			regs[in.Dst] = boolVal(regs[in.A].Ctrl)
+		case isa.OpCtrlCode:
+			regs[in.Dst] = sim.IntVal(regs[in.A].Bits)
+		case isa.OpSetHandler:
+			x.handler[in.Q] = in.Target
+		case isa.OpHandlerVal:
+			regs[in.Dst] = sim.IntVal(x.handlerVal)
+
+		case isa.OpBr:
+			if regs[in.A].Bits != 0 {
+				nextPC = in.Target
+			}
+		case isa.OpBrZ:
+			if regs[in.A].Bits == 0 {
+				nextPC = in.Target
+			}
+		case isa.OpJmp:
+			nextPC = in.Target
+		case isa.OpHalt:
+			e.bumpInstrs(local + 1)
+			return true
+		case isa.OpBarrier:
+			x.wait.Store(wBarrier << 32)
+			if !e.bar.wait() {
+				e.bumpInstrs(local)
+				return false
+			}
+			x.wait.Store(wRunning)
+		case isa.OpSwapSlots:
+			// Quiesce RAs first so in-flight accelerator work observes the
+			// pre-swap bindings, matching the functional drain-then-swap.
+			if !e.quiesceRAs() {
+				e.bumpInstrs(local)
+				return false
+			}
+			a := e.slots[in.Slot].Load()
+			b := e.slots[in.Slot2].Load()
+			e.slots[in.Slot].Store(b)
+			e.slots[in.Slot2].Store(a)
+		default:
+			e.bumpInstrs(local)
+			x.trap(pc, fmt.Sprintf("unimplemented op %v", in.Op))
+			return false
+		}
+		pc = nextPC
+		local++
+		if local >= flushEvery {
+			e.bumpInstrs(local)
+			local = 0
+			if e.stopped.Load() {
+				return false
+			}
+		}
+	}
+}
+
+func boolVal(b bool) sim.Value {
+	if b {
+		return sim.IntVal(1)
+	}
+	return sim.IntVal(0)
+}
+
+func loadValue(a *mem.Array, idx int64) sim.Value {
+	if a.Kind == mem.F64 {
+		return sim.FloatVal(a.LoadFloat(idx))
+	}
+	return sim.IntVal(a.LoadInt(idx))
+}
+
+func storeValue(a *mem.Array, idx int64, v sim.Value) {
+	if a.Kind == mem.F64 {
+		a.StoreFloat(idx, v.Float())
+		return
+	}
+	a.StoreInt(idx, v.Bits)
+}

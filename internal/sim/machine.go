@@ -255,8 +255,5 @@ func addOnce(m map[int][]string, q int, name string) {
 
 // queueDepth resolves a queue's capacity.
 func (m *Machine) queueDepth(q int) int {
-	if d := m.Queues[q].Depth; d > 0 {
-		return d
-	}
-	return m.Cfg.QueueDepth
+	return m.Queues[q].Capacity(m.Cfg.QueueDepth)
 }
